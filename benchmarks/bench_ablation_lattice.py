@@ -1,0 +1,34 @@
+"""Ablation: fixed-lattice vs Barnes–Hut repulsion in the embedding.
+
+The lattice approximation is much cruder than Barnes–Hut; the paper's
+bet is that the downstream *cut* barely suffers.  This bench embeds the
+same graph both ways and partitions with the same G7-NL budget.
+"""
+
+from repro.bench import BENCH_SEED, bench_graph, format_table
+from repro.core.scalapart import sp_pg7_nl
+from repro.embed import multilevel_embedding
+
+GRAPH = "delaunay_n23"
+
+
+def run_sweep():
+    g = bench_graph(GRAPH).graph
+    out = {}
+    for kind in ("lattice", "bh"):
+        emb = multilevel_embedding(g, seed=BENCH_SEED, repulsion=kind)
+        res = sp_pg7_nl(g, emb.pos, seed=BENCH_SEED)
+        out[kind] = res.cut_size
+    return out
+
+
+def test_ablation_lattice_vs_bh(benchmark, record_output):
+    cuts = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["repulsion", "cut (after SP-PG7-NL)"],
+        [[k, v] for k, v in cuts.items()],
+        title=f"Ablation: lattice vs Barnes–Hut embedding ({GRAPH})",
+    )
+    record_output("ablation_lattice", text)
+    # the fixed lattice stays within 2x of the far costlier Barnes–Hut
+    assert cuts["lattice"] <= 2.0 * cuts["bh"]

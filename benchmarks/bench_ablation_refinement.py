@@ -1,0 +1,35 @@
+"""Ablation: FM vs KL refinement (the classical pair the paper cites)."""
+
+import numpy as np
+
+from repro.bench import BENCH_SEED, bench_coords, bench_graph, format_table
+from repro.geometric.gmt import g7_nl
+from repro.refine import fm_refine, kl_refine
+
+GRAPH = "delaunay_n20"
+
+
+def run_sweep():
+    g = bench_graph(GRAPH).graph
+    start = g7_nl(g, bench_coords(GRAPH), seed=BENCH_SEED).bisection
+    fm = fm_refine(start)
+    kl = kl_refine(start)
+    return {
+        "start": start.cut_size,
+        "FM": fm.bisection.cut_size,
+        "KL": kl.bisection.cut_size,
+    }
+
+
+def test_ablation_fm_vs_kl(benchmark, record_output):
+    cuts = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["refinement", "cut"],
+        [[k, v] for k, v in cuts.items()],
+        title=f"Ablation: FM vs KL refinement ({GRAPH})",
+    )
+    record_output("ablation_refinement", text)
+    assert cuts["FM"] <= cuts["start"]
+    assert cuts["KL"] <= cuts["start"]
+    # FM matches or beats KL within noise (and is far cheaper per pass)
+    assert cuts["FM"] <= 1.1 * cuts["KL"]

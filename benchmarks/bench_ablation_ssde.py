@@ -1,0 +1,77 @@
+"""Ablation: SSDE initialisation (the paper's §5 future-work idea).
+
+"Embedding times may also potentially decrease if sampled spectral
+distance embedding schemes can be combined with our current approach."
+This bench compares embedding quality and downstream cut for (a) the
+paper's multilevel force-directed embedding, (b) raw SSDE, and (c) the
+hybrid: SSDE coordinates smoothed with a few fixed-lattice iterations.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import BENCH_SEED, bench_graph, format_table
+from repro.core.scalapart import sp_pg7_nl
+from repro.embed import (
+    Box,
+    force_directed_layout,
+    multilevel_embedding,
+    neighborhood_preservation,
+    repulsive_forces_lattice,
+    ssde_embedding,
+)
+
+GRAPH = "delaunay_n20"
+
+
+def run_sweep():
+    g = bench_graph(GRAPH).graph
+    out = {}
+
+    t0 = time.perf_counter()
+    ml = multilevel_embedding(g, seed=BENCH_SEED).pos
+    out["multilevel FDL"] = (time.perf_counter() - t0, ml)
+
+    t0 = time.perf_counter()
+    raw = ssde_embedding(g, seed=BENCH_SEED)
+    out["SSDE"] = (time.perf_counter() - t0, raw)
+
+    t0 = time.perf_counter()
+    sm = ssde_embedding(g, seed=BENCH_SEED)
+    box = Box.of_points(sm).expanded(1.1)
+    from functools import partial
+
+    kernel = partial(
+        lambda pos, m, c, k, box, s: repulsive_forces_lattice(
+            pos, m, c, k, box=box, s=s
+        ),
+        box=box,
+        s=16,
+    )
+    sm = force_directed_layout(g, sm, max_iters=12, step0=0.5,
+                               repulsion=kernel).pos
+    out["SSDE + lattice smoothing"] = (time.perf_counter() - t0, sm)
+
+    rows = []
+    cuts = {}
+    for name, (secs, pos) in out.items():
+        cut = sp_pg7_nl(g, pos, seed=BENCH_SEED).cut_size
+        npres = neighborhood_preservation(g, pos, seed=1)
+        cuts[name] = cut
+        rows.append([name, f"{secs * 1e3:.0f}", f"{npres:.2f}", cut])
+    return rows, cuts
+
+
+def test_ablation_ssde(benchmark, record_output):
+    rows, cuts = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["embedding", "wall ms", "nbhd preservation", "cut after SP-PG7-NL"],
+        rows,
+        title=f"Ablation: SSDE vs force-directed embedding ({GRAPH})",
+    )
+    record_output("ablation_ssde", text)
+    # the hybrid must recover most of the force-directed quality
+    assert cuts["SSDE + lattice smoothing"] <= 3 * cuts["multilevel FDL"]
+    # raw SSDE alone is usable but weaker or equal
+    assert cuts["SSDE"] >= cuts["multilevel FDL"] * 0.5

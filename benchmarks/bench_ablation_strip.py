@@ -1,0 +1,42 @@
+"""Ablation: strip refinement on/off and strip-width sweep.
+
+The paper attributes ScalaPart's quality edge over G30/G7-NL to the
+Fiduccia–Mattheyses strip refinement; this bench quantifies it.
+"""
+
+import numpy as np
+
+from repro.bench import BENCH_SEED, bench_coords, bench_graph, format_table
+from repro.core.config import ScalaPartConfig
+from repro.core.scalapart import sp_pg7_nl
+from repro.geometric.gmt import g7_nl
+
+GRAPH = "delaunay_n23"
+FACTORS = [2.0, 6.0, 12.0]
+
+
+def run_sweep():
+    g = bench_graph(GRAPH).graph
+    coords = bench_coords(GRAPH)
+    raw = g7_nl(g, coords, seed=BENCH_SEED).cut_size
+    rows = [["(no refinement)", raw, "-"]]
+    for f in FACTORS:
+        cfg = ScalaPartConfig(strip_factor=f)
+        res = sp_pg7_nl(g, coords, cfg, seed=BENCH_SEED)
+        rows.append([f"factor {f:g}", res.cut_size,
+                     res.extras["strip_size"]])
+    return raw, rows
+
+
+def test_ablation_strip(benchmark, record_output):
+    raw, rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["strip", "cut", "strip vertices"],
+        rows,
+        title=f"Ablation: strip refinement ({GRAPH})",
+    )
+    record_output("ablation_strip", text)
+    refined = [r[1] for r in rows[1:]]
+    # refinement improves the raw circle cut for every width
+    assert all(c <= raw for c in refined)
+    assert min(refined) < raw

@@ -1,0 +1,30 @@
+"""Figure 3: total execution times over all 9 graphs, P = 1…1024.
+
+Paper shape: ScalaPart is substantially slower at small P (embedding
+iterations dominate), becomes competitive around P≈64 and overtakes
+Pt-Scotch at high P; RCB is fastest throughout; Pt-Scotch scales worst.
+"""
+
+from repro.bench import P_SWEEP, fig3_total_times, suite_names, total_times
+
+
+def test_fig3_total_time(benchmark, record_output):
+    text = benchmark.pedantic(fig3_total_times, rounds=1, iterations=1)
+    record_output("fig3", text)
+
+    t = total_times(
+        ["ScalaPart", "Pt-Scotch-like", "ParMetis-like", "RCB"],
+        suite_names(), P_SWEEP,
+    )
+    sp, sc, pm, rcb = (t[m] for m in
+                       ("ScalaPart", "Pt-Scotch-like", "ParMetis-like", "RCB"))
+    # small P: SP slowest, RCB fastest
+    assert sp[0] > sc[0] > rcb[0]
+    assert sp[0] > pm[0]
+    # SP speeds up dramatically while Pt-Scotch stagnates
+    assert sp[0] / sp[-2] > 2.0           # SP gains from parallelism
+    assert sc[0] / sc[-1] < sp[0] / sp[-1]  # Scotch scales worse than SP
+    # high P: SP overtakes Pt-Scotch (the paper's headline crossover)
+    assert sp[-1] < sc[-1]
+    # RCB fastest at every P
+    assert all(rcb[i] < sp[i] for i in range(len(P_SWEEP)))

@@ -1,0 +1,22 @@
+"""Figure 4: RCB vs SP-PG7-NL (ScalaPart without coarsening/embedding).
+
+Paper shape: RCB wins at small P, but from P≈128 the geometric
+partitioner — three reductions total — beats RCB's iterative
+median-search, "while providing significantly better cuts".
+"""
+
+from repro.bench import P_SWEEP, fig4_partition_only, suite_names, total_times
+
+
+def test_fig4_partition_only(benchmark, record_output):
+    text = benchmark.pedantic(fig4_partition_only, rounds=1, iterations=1)
+    record_output("fig4", text)
+
+    t = total_times(["RCB", "SP-PG7-NL"], suite_names(), P_SWEEP)
+    rcb, sppg = t["RCB"], t["SP-PG7-NL"]
+    # small P: RCB faster
+    assert rcb[0] < sppg[0]
+    # high P: SP-PG7-NL overtakes (crossover within the sweep)
+    assert sppg[-1] < rcb[-1]
+    crossover = [p for p, a, b in zip(P_SWEEP, sppg, rcb) if a < b]
+    assert crossover and crossover[0] <= 256

@@ -1,0 +1,18 @@
+"""Figure 5: execution times for hugebubbles-00020 (largest graph)."""
+
+from repro.bench import P_SWEEP, fig_single_graph, run_method
+
+GRAPH = "hugebubbles-00020"
+
+
+def test_fig5_hugebubbles(benchmark, record_output):
+    text = benchmark.pedantic(
+        fig_single_graph, args=(GRAPH, "5"), rounds=1, iterations=1
+    )
+    record_output("fig5", text)
+
+    sp = [run_method("ScalaPart", GRAPH, p).seconds for p in P_SWEEP]
+    sc = [run_method("Pt-Scotch-like", GRAPH, p).seconds for p in P_SWEEP]
+    # ScalaPart overtakes Pt-Scotch on the largest graph at high P
+    assert sp[0] > sc[0]
+    assert sp[-1] < sc[-1]

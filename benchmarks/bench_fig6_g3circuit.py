@@ -1,0 +1,18 @@
+"""Figure 6: execution times for G3_circuit."""
+
+from repro.bench import P_SWEEP, fig_single_graph, run_method
+
+GRAPH = "G3_circuit"
+
+
+def test_fig6_g3circuit(benchmark, record_output):
+    text = benchmark.pedantic(
+        fig_single_graph, args=(GRAPH, "6"), rounds=1, iterations=1
+    )
+    record_output("fig6", text)
+
+    sp = [run_method("ScalaPart", GRAPH, p).seconds for p in P_SWEEP]
+    rcb = [run_method("RCB", GRAPH, p).seconds for p in P_SWEEP]
+    # ScalaPart gains a large factor from parallelism on this graph
+    assert sp[0] / min(sp) > 2.0
+    assert all(r < s for r, s in zip(rcb, sp))

@@ -1,0 +1,21 @@
+"""Figure 7: ScalaPart component times (coarsen / embed / partition).
+
+Paper shape: "times for embedding are by far the largest fraction of
+the time in ScalaPart" at every processor count.
+"""
+
+from repro.bench import P_SWEEP, fig7_components, run_method, suite_names
+
+
+def test_fig7_components(benchmark, record_output):
+    text = benchmark.pedantic(fig7_components, rounds=1, iterations=1)
+    record_output("fig7", text)
+
+    for p in P_SWEEP:
+        stages = {"coarsen": 0.0, "embed": 0.0, "partition": 0.0}
+        for g in suite_names():
+            rec = run_method("ScalaPart", g, p)
+            for k in stages:
+                stages[k] += rec.stage_seconds.get(k, 0.0)
+        assert stages["embed"] > stages["coarsen"]
+        assert stages["embed"] > stages["partition"]

@@ -1,0 +1,25 @@
+"""Figure 8: embedding time composition (computation vs communication).
+
+Paper shape: the communication fraction of embedding time grows with
+the processor count.
+"""
+
+import numpy as np
+
+from repro.bench import P_SWEEP, fig8_embed_comm, run_method, suite_names
+
+
+def comm_fraction(p):
+    fr = [run_method("ScalaPart", g, p).phase_comm.get("embed", 0.0)
+          for g in suite_names()]
+    return float(np.mean(fr))
+
+
+def test_fig8_embed_comm(benchmark, record_output):
+    text = benchmark.pedantic(fig8_embed_comm, rounds=1, iterations=1)
+    record_output("fig8", text)
+
+    fr = [comm_fraction(p) for p in P_SWEEP]
+    assert fr[0] < 0.2          # sequential: almost no communication
+    assert fr[-1] > fr[1]       # fraction grows toward high P
+    assert fr[-1] > 0.4

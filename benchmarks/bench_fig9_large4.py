@@ -1,0 +1,26 @@
+"""Figure 9: parallel times for the 4 largest graphs, P = 16…1024.
+
+Paper shape: ScalaPart is slower than Pt-Scotch at 16 processors but
+the situation reverses by 1024 on the large graphs.
+"""
+
+import numpy as np
+
+from repro.bench import fig9_large4, large4_names, run_method
+
+PS = [16, 64, 256, 1024]
+
+
+def avg(method, p):
+    return float(np.mean([run_method(method, g, p).seconds
+                          for g in large4_names()]))
+
+
+def test_fig9_large4(benchmark, record_output):
+    text = benchmark.pedantic(fig9_large4, args=(PS,), rounds=1, iterations=1)
+    record_output("fig9", text)
+
+    sp16, sc16 = avg("ScalaPart", 16), avg("Pt-Scotch-like", 16)
+    sp1024, sc1024 = avg("ScalaPart", 1024), avg("Pt-Scotch-like", 1024)
+    assert sp16 > sc16          # SP significantly slower at 16
+    assert sp1024 < sc1024      # the situation is quite the opposite at 1024

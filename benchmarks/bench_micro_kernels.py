@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the library's computational kernels.
+
+Unlike the table/figure benches (single-shot regenerations), these use
+pytest-benchmark's statistical timing — they are the numbers to watch
+when optimising the kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coarsen import contract, heavy_edge_matching
+from repro.embed import (
+    Box,
+    lattice_stats,
+    repulsive_forces_bh,
+    repulsive_forces_exact,
+    repulsive_forces_lattice,
+)
+from repro.geometric.gmt import g7_nl
+from repro.graph import Bisection, CSRGraph, cut_size
+from repro.graph.generators import grid2d, random_delaunay
+from repro.parallel import ZERO_COST, run_spmd
+from repro.refine import fm_refine
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return random_delaunay(5000, seed=1)
+
+
+def test_csr_from_edges(benchmark):
+    rng = np.random.default_rng(0)
+    edges = rng.integers(0, 20000, size=(60000, 2))
+    benchmark(CSRGraph.from_edges, 20000, edges)
+
+
+def test_cut_size(benchmark, mesh):
+    side = (np.arange(mesh.graph.num_vertices) % 2).astype(np.int8)
+    benchmark(cut_size, mesh.graph, side)
+
+
+def test_heavy_edge_matching(benchmark, mesh):
+    benchmark(heavy_edge_matching, mesh.graph, 7)
+
+
+def test_contract(benchmark, mesh):
+    match = heavy_edge_matching(mesh.graph, seed=7)
+    benchmark(contract, mesh.graph, match)
+
+
+def test_fm_refine(benchmark, mesh):
+    g, pts = mesh
+    side = (pts[:, 0] > np.median(pts[:, 0])).astype(np.int8)
+    rng = np.random.default_rng(3)
+    flip = rng.choice(g.num_vertices, 100, replace=False)
+    side[flip] = 1 - side[flip]
+    bis = Bisection(g, side)
+    benchmark(fm_refine, bis)
+
+
+def test_repulsion_exact_500(benchmark):
+    pts = np.random.default_rng(4).random((500, 2))
+    benchmark(repulsive_forces_exact, pts)
+
+
+def test_repulsion_bh_5000(benchmark, mesh):
+    benchmark(repulsive_forces_bh, mesh.coords)
+
+
+def test_repulsion_lattice_5000(benchmark, mesh):
+    box = Box.of_points(mesh.coords)
+    benchmark(
+        repulsive_forces_lattice, mesh.coords, None, 0.2, 1.0, box=box, s=16
+    )
+
+
+def test_geometric_g7nl(benchmark, mesh):
+    benchmark(g7_nl, mesh.graph, mesh.coords, 5)
+
+
+def test_engine_allreduce_p256(benchmark):
+    def prog(comm):
+        total = 0.0
+        for _ in range(4):
+            total = yield from comm.allreduce(comm.rank)
+        return total
+
+    benchmark(run_spmd, prog, 256, machine=ZERO_COST)

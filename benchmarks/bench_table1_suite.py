@@ -1,0 +1,17 @@
+"""Table 1: the evaluation suite (paper sizes vs analogue sizes)."""
+
+from repro.bench import bench_graph, suite_names, table1
+
+
+def test_table1_suite(benchmark, record_output):
+    text = benchmark.pedantic(table1, rounds=1, iterations=1)
+    record_output("table1", text)
+    # nine graphs, each connected and non-trivial
+    assert len(suite_names()) == 9
+    for name in suite_names():
+        g = bench_graph(name).graph
+        assert g.num_vertices > 500
+        assert g.is_connected()
+    # relative size ordering of the suite is preserved
+    sizes = {n: bench_graph(n).graph.num_vertices for n in suite_names()}
+    assert sizes["hugebubbles-00020"] == max(sizes.values())

@@ -1,0 +1,34 @@
+"""Table 2: cut quality of the geometric methods relative to G30.
+
+Paper shape to reproduce: RCB is the worst geometric method on average
+(+16% vs G30 in the paper), G7-NL trails G30 slightly, while
+ScalaPart's best cuts across P beat G30 substantially (−32% in the
+paper) thanks to the strip refinement.
+"""
+
+import re
+
+import numpy as np
+
+from repro.bench import P_SWEEP, run_method, suite_names, table2
+
+
+def test_table2_geometric_quality(benchmark, record_output):
+    text = benchmark.pedantic(table2, rounds=1, iterations=1)
+    record_output("table2", text)
+
+    # recompute the geometric means the table prints
+    rel = {"G7-NL": [], "RCB": [], "Best SP": []}
+    for name in suite_names():
+        base = run_method("G30", name).cut or 1
+        rel["G7-NL"].append(run_method("G7-NL", name).cut / base)
+        rel["RCB"].append(run_method("RCB", name, 1).cut / base)
+        sp = [run_method("ScalaPart", name, p).cut for p in P_SWEEP]
+        rel["Best SP"].append(min(sp) / base)
+    gm = {k: float(np.exp(np.mean(np.log(v)))) for k, v in rel.items()}
+
+    # paper shape: best SP beats G30 on average; RCB does not
+    assert gm["Best SP"] < 1.0
+    assert gm["RCB"] > gm["Best SP"]
+    # G7-NL (5 circles) stays within ~35% of G30 (30 tries) on average
+    assert gm["G7-NL"] < 1.35

@@ -1,0 +1,30 @@
+"""Table 4: speed-ups at P=1024 relative to Pt-Scotch.
+
+Paper shape: every method beats Pt-Scotch at 1024; SP-PG7-NL (the
+partition-only component) is the fastest of the partitioners and beats
+RCB.
+"""
+
+from repro.bench import run_method, suite_names, table4
+
+
+def total(method, p=1024):
+    return sum(run_method(method, g, p).seconds for g in suite_names())
+
+
+def test_table4_speedups(benchmark, record_output):
+    text = benchmark.pedantic(table4, rounds=1, iterations=1)
+    record_output("table4", text)
+
+    t_scotch = total("Pt-Scotch-like")
+    t_pm = total("ParMetis-like")
+    t_sp = total("ScalaPart")
+    t_sppg = total("SP-PG7-NL")
+    t_rcb = total("RCB")
+
+    # Pt-Scotch is the slowest partitioner at P=1024
+    assert t_scotch > t_pm
+    assert t_scotch > t_sp
+    # the partition-only component crushes the full pipelines and RCB
+    assert t_sppg < t_rcb
+    assert t_sppg < 0.2 * t_sp

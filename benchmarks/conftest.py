@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Each table/figure benchmark regenerates one artifact of the paper's
+evaluation, prints it, and saves it under ``benchmarks/results/``.
+Grid cells (method × graph × P) are cached by the harness
+(``.bench_cache/``), so the whole directory costs roughly one sweep.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_output():
+    """Print a rendered table/figure and persist it for EXPERIMENTS.md."""
+
+    def _record(name: str, text: str) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return text
+
+    return _record

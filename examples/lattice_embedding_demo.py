@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The fixed-lattice embedding, step by step (paper Figure 1).
+
+Walks through the machinery behind ScalaPart's main contribution on a
+small graph with a 3×3 lattice — the exact setting of the paper's
+Figure 1: lattice cells B_{i,j}, special vertices β with cell masses at
+cell centres of mass, and the Eq. 1–2 repulsive forces — then runs the
+full multilevel embedding and writes coordinates to a file usable by
+any coordinate-based partitioner.
+
+Run:  python examples/lattice_embedding_demo.py
+"""
+
+import numpy as np
+
+from repro.embed import (
+    Box,
+    beta_force_field,
+    cell_indices,
+    lattice_stats,
+    multilevel_embedding,
+    repulsive_forces_exact,
+    repulsive_forces_lattice,
+)
+from repro.graph.generators import random_delaunay
+from repro.graph.io import write_coords
+
+rng = np.random.default_rng(5)
+
+# --- a small embedded graph and the 3x3 lattice of Figure 1 -----------
+graph, pos = random_delaunay(60, seed=5)
+box = Box.of_points(pos)
+S = 3
+row, col = cell_indices(pos, box, S)
+stats = lattice_stats(pos, graph.vwgt, box, S)
+
+print(f"graph: n={graph.num_vertices}, box={box.lo.round(2)}..{box.hi.round(2)}")
+print(f"\n{S}x{S} lattice: special vertices beta (mass mu at centre of mass phi)")
+for i in range(S):
+    for j in range(S):
+        cid = i * S + j
+        mu = stats.mass[cid]
+        phi = stats.com[cid]
+        print(f"  B[{i},{j}]: mu={mu:4.0f}  phi=({phi[0]:.2f}, {phi[1]:.2f})")
+
+# --- Eq. 1: the per-cell repulsive field -------------------------------
+field = beta_force_field(stats)
+print("\nEq. 1 field at each beta (per unit mass):")
+print(np.array2string(field.reshape(S, S, 2), precision=2, suppress_small=True))
+
+# --- Eq. 2: per-vertex forces, compared with the exact O(n^2) sum ------
+approx = repulsive_forces_lattice(pos, graph.vwgt, box=box, s=S)
+exact = repulsive_forces_exact(pos, graph.vwgt)
+cos = (approx * exact).sum(axis=1) / (
+    np.linalg.norm(approx, axis=1) * np.linalg.norm(exact, axis=1) + 1e-12
+)
+print(f"\nlattice vs exact repulsion: median direction agreement "
+      f"cos = {np.median(cos):.3f} (1.0 = identical)")
+
+# --- the full multilevel embedding on a coordinate-free graph ----------
+big = random_delaunay(3000, seed=6).graph
+emb = multilevel_embedding(big, seed=7)
+print(f"\nmultilevel embedding of n={big.num_vertices}: "
+      f"{emb.num_levels} levels, sizes {emb.hierarchy.sizes()}")
+out = "embedding.xy"
+write_coords(emb.pos, out)
+print(f"coordinates written to {out} (usable by RCB/G30/meshpart-style tools)")

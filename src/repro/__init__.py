@@ -1,0 +1,33 @@
+"""repro — reproduction of "Scalable Parallel Graph Partitioning" (SC'13).
+
+Public API highlights
+---------------------
+* :mod:`repro.graph` — CSR graph kernel, generators, the Table-1 suite.
+* :mod:`repro.parallel` — SPMD virtual machine with an MPI-like API and
+  a Hockney cost model (per-rank simulated clocks).
+* :mod:`repro.core` — the ScalaPart partitioner (sequential reference and
+  the distributed implementation on the virtual machine).
+* :mod:`repro.baselines` — RCB, ParMetis-like and Pt-Scotch-like
+  multilevel partitioners, spectral bisection.
+* :mod:`repro.geometric` — Gilbert–Miller–Teng geometric mesh
+  partitioning (G30 / G7 / G7-NL and the parallel SP-PG7-NL).
+* :mod:`repro.embed` — force-directed embedding: sequential multilevel
+  (Hu 2006) and the paper's fixed-lattice parallel scheme.
+* :mod:`repro.bench` — cached regeneration of every paper table/figure.
+
+Quick start::
+
+    from repro.core import scalapart
+    from repro.graph.generators import random_delaunay
+
+    graph, _ = random_delaunay(4000, seed=42)
+    result = scalapart(graph, seed=0)
+    print(result.bisection.cut_size)
+"""
+
+__version__ = "0.1.0"
+
+from . import errors, rng  # noqa: F401
+from .results import PartitionResult  # noqa: F401
+
+__all__ = ["errors", "rng", "PartitionResult", "__version__"]

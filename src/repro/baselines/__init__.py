@@ -1,0 +1,24 @@
+"""Comparator partitioners: RCB, multilevel analogues, spectral."""
+
+from .multilevel import (
+    band_mask,
+    greedy_graph_growing,
+    multilevel_bisection,
+    parmetis_like,
+    scotch_like,
+)
+from .rcb import rcb_bisect, rcb_grid_map, rcb_labels
+from .spectral import fiedler_vector, spectral_bisect
+
+__all__ = [
+    "band_mask",
+    "greedy_graph_growing",
+    "multilevel_bisection",
+    "parmetis_like",
+    "scotch_like",
+    "rcb_bisect",
+    "rcb_grid_map",
+    "rcb_labels",
+    "fiedler_vector",
+    "spectral_bisect",
+]

@@ -1,0 +1,36 @@
+"""Benchmark harness: workloads, cached sweep runner, tables, figures."""
+
+from .report import banner, format_series, format_table
+from .runner import METHODS, RunRecord, clear_cache, run_method, sweep
+from .tables import table1, table2, table3, table4
+from .figures import (
+    fig2_strip,
+    fig3_total_times,
+    fig4_partition_only,
+    fig7_components,
+    fig8_embed_comm,
+    fig9_large4,
+    fig_single_graph,
+    total_times,
+)
+from .workloads import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    MACHINE,
+    P_SWEEP,
+    bench_coords,
+    bench_graph,
+    large4_names,
+    suite_names,
+)
+
+__all__ = [
+    "banner", "format_series", "format_table",
+    "METHODS", "RunRecord", "clear_cache", "run_method", "sweep",
+    "table1", "table2", "table3", "table4",
+    "fig2_strip", "fig3_total_times", "fig4_partition_only",
+    "fig7_components", "fig8_embed_comm", "fig9_large4",
+    "fig_single_graph", "total_times",
+    "BENCH_SCALE", "BENCH_SEED", "MACHINE", "P_SWEEP",
+    "bench_coords", "bench_graph", "large4_names", "suite_names",
+]

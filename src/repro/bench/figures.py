@@ -1,0 +1,161 @@
+"""Regeneration of the paper's Figures 2–9 as text series.
+
+Each function returns the series the corresponding figure plots
+(simulated seconds vs processor count, component fractions, …) rendered
+as an aligned table; the benchmark files under ``benchmarks/`` print
+them and assert the paper's qualitative shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .report import format_series, format_table
+from .runner import run_method
+from .workloads import P_SWEEP, bench_coords, bench_graph, large4_names, suite_names
+
+__all__ = [
+    "fig2_strip",
+    "fig3_total_times",
+    "fig4_partition_only",
+    "fig_single_graph",
+    "fig7_components",
+    "fig8_embed_comm",
+    "fig9_large4",
+    "total_times",
+]
+
+_TIME_METHODS = ["ScalaPart", "Pt-Scotch-like", "ParMetis-like", "RCB"]
+
+
+def total_times(methods: List[str], graphs: List[str], ps: List[int]) -> Dict[str, List[float]]:
+    """Sum of simulated times over ``graphs`` per method and P."""
+    out: Dict[str, List[float]] = {}
+    for m in methods:
+        out[m] = [
+            sum(run_method(m, g, p).seconds for g in graphs) for p in ps
+        ]
+    return out
+
+
+def fig2_strip(graph_name: str = "delaunay_n20") -> str:
+    """Figure 2: the refinement strip around a separator.
+
+    The paper reports a strip holding 5.6× as many vertices as the
+    separator for delaunay_n16; we report the same statistic for the
+    delaunay analogue.
+    """
+    from ..core.scalapart import sp_pg7_nl
+    from .workloads import BENCH_SEED
+
+    gg = bench_graph(graph_name)
+    res = sp_pg7_nl(gg.graph, bench_coords(graph_name), seed=BENCH_SEED)
+    rows = [[
+        graph_name,
+        res.extras["strip_size"],
+        res.bisection.boundary_vertices().shape[0],
+        f"{res.extras['strip_factor']:.1f}x",
+        "5.6x (delaunay_n16)",
+        f"{res.extras['geometric_cut']:.0f} -> {res.cut_size}",
+    ]]
+    return format_table(
+        ["graph", "strip size", "separator vertices", "strip factor",
+         "paper factor", "cut: circle -> refined"],
+        rows,
+        title="Figure 2: strip used to refine the edge separator",
+    )
+
+
+def fig3_total_times() -> str:
+    """Figure 3: total execution times over all 9 graphs."""
+    series = total_times(_TIME_METHODS, suite_names(), P_SWEEP)
+    cols = [(m, [f"{v * 1e3:.2f}" for v in series[m]]) for m in _TIME_METHODS]
+    return format_series(
+        "Figure 3: total simulated times over all 9 graphs (ms)",
+        "P", P_SWEEP, cols,
+    )
+
+
+def fig4_partition_only() -> str:
+    """Figure 4: RCB vs SP-PG7-NL (ScalaPart minus coarsening/embedding)."""
+    series = total_times(["RCB", "SP-PG7-NL"], suite_names(), P_SWEEP)
+    cols = [(m, [f"{v * 1e3:.3f}" for v in series[m]])
+            for m in ("RCB", "SP-PG7-NL")]
+    return format_series(
+        "Figure 4: total times, RCB vs SP-PG7-NL (partition-only; ms)",
+        "P", P_SWEEP, cols,
+    )
+
+
+def fig_single_graph(name: str, figure: str) -> str:
+    """Figures 5/6: per-graph execution times vs P."""
+    series = total_times(_TIME_METHODS, [name], P_SWEEP)
+    cols = [(m, [f"{v * 1e3:.2f}" for v in series[m]]) for m in _TIME_METHODS]
+    return format_series(
+        f"Figure {figure}: execution time for {name} (ms)",
+        "P", P_SWEEP, cols,
+    )
+
+
+def fig7_components() -> str:
+    """Figure 7: ScalaPart component times as fractions of the total."""
+    rows = []
+    for p in P_SWEEP:
+        stages = {"coarsen": 0.0, "embed": 0.0, "partition": 0.0}
+        total = 0.0
+        for g in suite_names():
+            rec = run_method("ScalaPart", g, p)
+            for k in stages:
+                stages[k] += rec.stage_seconds.get(k, 0.0)
+            total += rec.seconds
+        rows.append([p] + [f"{stages[k] / total:.2f}" for k in
+                           ("coarsen", "embed", "partition")])
+    return format_table(
+        ["P", "coarsen", "embed", "partition"],
+        rows,
+        title="Figure 7: ScalaPart component times (fraction of total)",
+    )
+
+
+def fig8_embed_comm() -> str:
+    """Figure 8: computation vs communication share of embedding time."""
+    rows = []
+    for p in P_SWEEP:
+        fracs = []
+        for g in suite_names():
+            rec = run_method("ScalaPart", g, p)
+            if "embed" in rec.phase_comm:
+                fracs.append(rec.phase_comm["embed"])
+        comm = float(np.mean(fracs)) if fracs else 0.0
+        rows.append([p, f"{1 - comm:.2f}", f"{comm:.2f}"])
+    return format_table(
+        ["P", "computation", "communication"],
+        rows,
+        title="Figure 8: embedding time composition (mean over graphs)",
+    )
+
+
+def fig9_large4(ps: List[int] = (16, 64, 256, 1024)) -> str:
+    """Figure 9: times for the 4 largest graphs plus their average."""
+    lines = []
+    for name in large4_names() + ["(average)"]:
+        rows = []
+        for p in ps:
+            if name == "(average)":
+                vals = {
+                    m: float(np.mean([run_method(m, g, p).seconds
+                                      for g in large4_names()]))
+                    for m in _TIME_METHODS[:3]
+                }
+            else:
+                vals = {m: run_method(m, name, p).seconds
+                        for m in _TIME_METHODS[:3]}
+            rows.append([p] + [f"{vals[m] * 1e3:.2f}" for m in _TIME_METHODS[:3]])
+        lines.append(format_table(
+            ["P"] + _TIME_METHODS[:3],
+            rows,
+            title=f"Figure 9: {name} (ms)",
+        ))
+    return "\n\n".join(lines)

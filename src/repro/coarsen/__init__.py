@@ -1,0 +1,22 @@
+"""Multilevel coarsening: matchings, contraction, hierarchies."""
+
+from .contract import coarse_map, contract, project_labels
+from .hierarchy import Hierarchy, build_hierarchy
+from .matching import (
+    heavy_edge_matching,
+    matching_work,
+    random_matching,
+    validate_matching,
+)
+
+__all__ = [
+    "coarse_map",
+    "contract",
+    "project_labels",
+    "Hierarchy",
+    "build_hierarchy",
+    "heavy_edge_matching",
+    "matching_work",
+    "random_matching",
+    "validate_matching",
+]

@@ -1,0 +1,214 @@
+"""Distributed multilevel coarsening (rank programs for the VM).
+
+ScalaPart coarsens "in the same manner as in ParMetis" with the graph
+distributed over P ranks.  The distributed matching here is the
+*mutual-proposal* (locally dominant edge) algorithm used by parallel
+matchers: each round every rank computes, for its owned unmatched
+vertices, the heaviest unmatched neighbour; proposals are exchanged and
+an edge whose endpoints propose each other becomes matched.  Two to
+three rounds capture most of the matching weight; remaining vertices
+stay unmatched for this level (standard in ParMetis).
+
+Folding: with ``keep_every_other=True`` two matchings fuse per retained
+level and the active rank set shrinks to a quarter (``P^i ≈ P^{i-1}/4``,
+paper §3), so per-rank work stays ~``m/P`` at every level.  Ranks that
+fold out wait at the final hierarchy broadcast.
+
+Simulator notes (see :mod:`repro.graph.distributed`): graph objects are
+immutable and travel by :class:`Shared` reference; the contraction is
+executed functionally at the subtree root and *charged* as the
+distributed edge-relabel + redistribution a real implementation
+performs (each rank charges its owned adjacency, and the broadcast
+carries the coarse graph's redistribution volume).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import GraphError
+from ..graph.csr import CSRGraph
+from ..graph.distributed import Shared, adjacency_slots, block_of, block_starts
+from ..parallel.engine import Comm
+from ..parallel.patterns import allgather_concat, share_from_root
+from ..rng import SeedLike
+from .hierarchy import _STALL_RATIO
+from .contract import contract
+
+__all__ = ["dist_matching_round", "dist_match", "dist_build_hierarchy"]
+
+#: mutual-proposal rounds per matching sweep.
+_ROUNDS = 3
+
+
+def _local_proposals(
+    graph: CSRGraph, lo: int, hi: int, matched: np.ndarray, salt: int = 0
+) -> np.ndarray:
+    """Heaviest-unmatched-neighbour proposal for owned vertices
+    [lo, hi); -1 where no proposal is possible.  Vectorised."""
+    owned = np.arange(lo, hi, dtype=np.int64)
+    prop = np.full(hi - lo, -1, dtype=np.int64)
+    if owned.size == 0:
+        return prop
+    src_pos, src, dst, w = adjacency_slots(graph, owned)
+    valid = ~matched[dst] & ~matched[src]
+    if not valid.any():
+        return prop
+    sp, d, ww = src_pos[valid], dst[valid], w[valid]
+    # Symmetric pseudo-random tie-break: without it, unweighted regular
+    # graphs make every vertex propose in the same direction and almost
+    # no proposal is mutual.  The perturbation (< 0.5) never reorders
+    # integer-valued weights, and being a pure function of the endpoint
+    # pair it is identical on both owners of an edge.
+    s = src[valid]
+    elo = np.minimum(s, d).astype(np.uint64)
+    ehi = np.maximum(s, d).astype(np.uint64)
+    h = (
+        elo * np.uint64(2654435761)
+        + ehi * np.uint64(40503)
+        + np.uint64((salt + 1) * 2246822519)
+    ) & np.uint64(0xFFFFFFFF)
+    ww = ww + h.astype(np.float64) / float(2**32) * 0.5
+    order = np.lexsort((ww, sp))  # ascending weight within each source
+    sp_s, d_s = sp[order], d[order]
+    last = np.ones(sp_s.shape[0], dtype=bool)
+    last[:-1] = sp_s[1:] != sp_s[:-1]
+    prop[sp_s[last]] = d_s[last]  # heaviest (last) proposal per source
+    return prop
+
+
+def dist_matching_round(comm: Comm, graph: CSRGraph, matched: np.ndarray,
+                        match: np.ndarray, salt: int = 0):
+    """One mutual-proposal round; updates ``matched``/``match`` in place
+    (identical on every rank after the round's exchanges)."""
+    n = graph.num_vertices
+    starts = block_starts(n, comm.size)
+    lo, hi = block_of(starts, comm.rank)
+    local_prop = _local_proposals(graph, lo, hi, matched, salt)
+    # charge the sweep: every owned adjacency slot is examined once
+    comm.charge(float(graph.indptr[hi] - graph.indptr[lo]) + (hi - lo))
+    prop = yield from allgather_concat(comm, local_prop)
+    # Mutual proposals become matches.  Matching is a pure function of
+    # the proposal array (match v↔u iff prop[v]==u and prop[u]==v), so
+    # after the single proposal exchange every rank derives the round's
+    # matches locally — no second communication step is needed.
+    ids = np.arange(n, dtype=np.int64)
+    ok = prop >= 0
+    mutual = ok.copy()
+    mutual[ok] = prop[prop[ok]] == ids[ok]
+    match[mutual] = prop[mutual]
+    matched[:] = match != ids
+    comm.charge(float(n) / comm.size)
+
+
+def dist_match(comm: Comm, graph: CSRGraph, rounds: int = _ROUNDS,
+               salt: int = 0):
+    """Distributed heavy-edge matching (mutual proposals, few rounds).
+
+    ``salt`` perturbs the tie-break hash: passing the processor count
+    (as the hierarchy driver does) makes the matching — and hence the
+    final cut — vary with P, which is how the paper's per-method
+    cut-size *ranges* across processor counts arise.
+    """
+    n = graph.num_vertices
+    matched = np.zeros(n, dtype=bool)
+    match = np.arange(n, dtype=np.int64)
+    for _ in range(max(1, rounds)):
+        yield from dist_matching_round(comm, graph, matched, match, salt)
+    return match
+
+
+def _dist_contract(comm: Comm, graph: CSRGraph, match: np.ndarray):
+    """Contract under a (globally known) matching.
+
+    Functional work at rank 0 (simulator memory idiom); every rank
+    charges its owned adjacency for the edge relabelling, and the
+    result broadcast carries the coarse graph's redistribution volume.
+    """
+    n = graph.num_vertices
+    starts = block_starts(n, comm.size)
+    lo, hi = block_of(starts, comm.rank)
+    comm.charge(float(graph.indptr[hi] - graph.indptr[lo]) + (hi - lo))
+    result = None
+    if comm.rank == 0:
+        result = contract(graph, match)
+    # Redistribution volume: the coarse graph's ~3 words per adjacency
+    # slot (endpoints + weight) move through every rank's port *in
+    # parallel*, so the per-port serialised volume is 3m/p; the
+    # broadcast tree contributes the log-p latency factor.
+    volume_guess = 3.0 * graph.indices.shape[0] / (2.0 * comm.size)
+    coarse, cmap = (yield from share_from_root(comm, result, words=volume_guess))
+    return coarse, cmap
+
+
+def dist_build_hierarchy(
+    comm: Comm,
+    graph: CSRGraph,
+    *,
+    coarsest_size: int = 160,
+    keep_every_other: bool = True,
+    max_levels: int = 50,
+    fold: bool = True,
+    rounds: int = _ROUNDS,
+):
+    """Distributed analogue of :func:`repro.coarsen.build_hierarchy`.
+
+    Returns ``(graphs, cmaps)`` — identical lists on every rank of
+    ``comm``.  With ``fold=True`` the active rank set quarters (halves
+    for ``keep_every_other=False``) per retained level, mirroring
+    ``P^i ≈ P^{i-1}/4``; folded-out ranks idle until the final
+    broadcast, exactly like processes outside ``G^i(P^i)`` in the paper.
+    """
+    if coarsest_size < 1:
+        raise GraphError("coarsest_size must be >= 1")
+    graphs: List[CSRGraph] = [graph]
+    cmaps: List[np.ndarray] = []
+    active: Optional[Comm] = comm
+    steps = 2 if keep_every_other else 1
+    shrink = 4 if keep_every_other else 2
+
+    for _level in range(max_levels):
+        if active is None:
+            break
+        current = graphs[-1]
+        if current.num_vertices <= coarsest_size:
+            break
+        composed: Optional[np.ndarray] = None
+        nxt = current
+        stalled = False
+        # Mutual-proposal matching leaves more vertices unmatched than
+        # sequential HEM, especially on small/contracted graphs; keep
+        # matching (up to 2·steps sweeps) until this level reaches its
+        # ~1/4 (or ~1/2) size target so level counts stay close to the
+        # paper's quartering schedule.
+        target = max(coarsest_size, int(current.num_vertices / (3.2 if keep_every_other else 1.7)))
+        for _s in range(2 * steps):
+            if composed is not None and nxt.num_vertices <= target:
+                break
+            match = yield from dist_match(active, nxt, rounds=rounds,
+                                          salt=comm.size + 31 * _level + _s)
+            coarse, cmap = yield from _dist_contract(active, nxt, match)
+            if coarse.num_vertices > _STALL_RATIO * nxt.num_vertices:
+                stalled = True
+                if coarse.num_vertices == nxt.num_vertices:
+                    break
+            nxt = coarse
+            composed = cmap if composed is None else cmap[composed]
+        if composed is None or nxt.num_vertices == current.num_vertices:
+            break
+        graphs.append(nxt)
+        cmaps.append(composed)
+        if stalled:
+            break
+        if fold and active.size >= 2 * shrink:
+            keep = max(1, active.size // shrink)
+            sub = yield from active.split(0 if active.rank < keep else None)
+            active = sub  # None for folded-out ranks: they exit the loop
+    # synchronise the hierarchy across the full communicator (folded-out
+    # ranks have a stale prefix); rank 0 is active at every level
+    payload = (graphs, cmaps) if comm.rank == 0 else None
+    full = yield from share_from_root(comm, payload, words=float(len(graphs) * 4))
+    return full

@@ -1,0 +1,33 @@
+"""ScalaPart core: configuration, results, sequential and parallel drivers."""
+
+from .complexity import ComplexityModel
+from .config import ScalaPartConfig
+from .parallel import (
+    dist_scalapart,
+    parmetis_parallel,
+    rcb_parallel,
+    scalapart_parallel,
+    scotch_parallel,
+    sp_pg7_nl_parallel,
+)
+from .recursive import KWayResult, kway_cut, kway_imbalance, recursive_bisection
+from ..results import PartitionResult
+from .scalapart import scalapart, sp_pg7_nl
+
+__all__ = [
+    "ComplexityModel",
+    "ScalaPartConfig",
+    "PartitionResult",
+    "KWayResult",
+    "kway_cut",
+    "kway_imbalance",
+    "recursive_bisection",
+    "scalapart",
+    "sp_pg7_nl",
+    "dist_scalapart",
+    "parmetis_parallel",
+    "rcb_parallel",
+    "scalapart_parallel",
+    "scotch_parallel",
+    "sp_pg7_nl_parallel",
+]

@@ -1,0 +1,83 @@
+"""Analytic communication-complexity model of ScalaPart (paper §3.1).
+
+The paper derives the total communication cost of the multilevel
+embedding, summed over levels ``i = 1..k`` with ``P^i ≈ P^{i-1}/4``:
+
+.. math::
+
+    t_s (\\log P)^2 + t_w P (\\log P)^2 + t_w \\tilde N \\log P
+    + t_w \\sqrt{N / P}
+
+(latency of the per-level collectives; the β-table reduction volume;
+the far-edge allgather volume; the per-iteration boundary exchange),
+plus ``3 (t_s + t_w c \\log P)`` for the geometric partitioning — "3
+reductions with short messages".
+
+This module evaluates those closed forms so the test suite can check
+the *simulated* machine against the paper's *analysis*: the measured
+embedding communication of :mod:`repro.embed.parallel` should scale no
+worse than the model predicts (constants differ; shapes must agree).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..parallel.machine import MachineModel, QDR_CLUSTER
+
+__all__ = ["ComplexityModel"]
+
+
+@dataclass(frozen=True)
+class ComplexityModel:
+    """Closed-form §3.1 costs for a given machine and problem."""
+
+    machine: MachineModel = QDR_CLUSTER
+    #: iterations per level (the paper's small constant c0)
+    c0: float = 16.0
+    #: far-edge fraction: Ñ = far_fraction · sqrt(N/P) per the paper's
+    #: "ñ is typically much smaller than the number of boundary points"
+    far_fraction: float = 0.25
+    #: number of great-circle separators (the short-message length c)
+    ncircles: float = 5.0
+
+    def embedding_comm(self, n: int, p: int) -> float:
+        """Total embedding communication time (paper §3.1 sum)."""
+        if p <= 1:
+            return 0.0
+        m = self.machine
+        lg = math.log2(p)
+        boundary = math.sqrt(n / p)
+        n_tilde = self.far_fraction * boundary
+        return (
+            m.t_s * lg * lg
+            + m.t_w * p * lg * lg
+            + m.t_w * n_tilde * lg
+            + self.c0 * m.t_w * boundary
+        )
+
+    def partition_comm(self, p: int) -> float:
+        """Geometric partitioning: 3 reductions of c-length messages."""
+        if p <= 1:
+            return 0.0
+        m = self.machine
+        return 3.0 * (m.t_s + m.t_w * self.ncircles * math.log2(p))
+
+    def total_comm(self, n: int, p: int) -> float:
+        return self.embedding_comm(n, p) + self.partition_comm(p)
+
+    def dominant_term(self, n: int, p: int) -> str:
+        """Which §3.1 term dominates at (n, p) — the paper expects the
+        ``t_s log²P`` latency term at scale."""
+        if p <= 1:
+            return "none"
+        m = self.machine
+        lg = math.log2(p)
+        terms = {
+            "ts_log2": m.t_s * lg * lg,
+            "tw_P_log2": m.t_w * p * lg * lg,
+            "tw_far": m.t_w * self.far_fraction * math.sqrt(n / p) * lg,
+            "tw_boundary": self.c0 * m.t_w * math.sqrt(n / p),
+        }
+        return max(terms, key=terms.get)

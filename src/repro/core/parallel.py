@@ -1,0 +1,181 @@
+"""Distributed ScalaPart and host-level runners for every method.
+
+:func:`dist_scalapart` is the rank program combining the three stages
+of paper §3 on the virtual machine (phases are labelled so Figures 7–8
+can be regenerated from the trace).  The ``*_parallel`` host wrappers
+below run a method on ``P`` virtual ranks and package the outcome as a
+:class:`~repro.results.PartitionResult` whose ``seconds`` is the
+*simulated* execution time — the quantity the paper's Figures 3–6/9
+plot — and whose ``stage_seconds`` carries the per-phase breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..baselines.parallel_ml import (
+    dist_parmetis_like,
+    dist_rcb_bisect,
+    dist_scotch_like,
+)
+from ..embed.parallel import dist_multilevel_embedding
+from ..errors import PartitionError
+from ..geometric.parallel import dist_sp_pg7_nl
+from ..graph.csr import CSRGraph
+from ..graph.partition import Bisection
+from ..parallel.engine import Comm, run_spmd
+from ..parallel.machine import MachineModel, QDR_CLUSTER
+from ..parallel.trace import SpmdResult
+from ..rng import SeedLike, derive_seed
+from .config import ScalaPartConfig
+from ..results import PartitionResult
+
+__all__ = [
+    "dist_scalapart",
+    "scalapart_parallel",
+    "sp_pg7_nl_parallel",
+    "parmetis_parallel",
+    "scotch_parallel",
+    "rcb_parallel",
+]
+
+
+def dist_scalapart(
+    comm: Comm,
+    graph: CSRGraph,
+    config: Optional[ScalaPartConfig] = None,
+    seed: SeedLike = None,
+):
+    """Rank program: full distributed ScalaPart (coarsen→embed→partition)."""
+    cfg = config or ScalaPartConfig()
+    pos, emb_info = yield from dist_multilevel_embedding(
+        comm,
+        graph,
+        coarsest_size=cfg.coarsest_size,
+        coarsest_iters=cfg.coarsest_iters,
+        smooth_iters=cfg.smooth_iters,
+        block_size=cfg.block_size,
+        c=cfg.c,
+        jitter=cfg.jitter,
+        seed=derive_seed(seed, 0xE3BED0),
+    )
+    comm.set_phase("partition")
+    side, info = yield from dist_sp_pg7_nl(
+        comm, graph, pos, config=cfg, seed=seed
+    )
+    return side, {**info, **emb_info, "pos": pos}
+
+
+def _package(
+    graph: CSRGraph,
+    res: SpmdResult,
+    method: str,
+    max_imbalance: Optional[float] = None,
+) -> PartitionResult:
+    side, info = res.values[0]
+    bis = Bisection(graph, np.asarray(side, dtype=np.int8))
+    out = PartitionResult(
+        bisection=bis,
+        method=method,
+        seconds=res.elapsed,
+        simulated=True,
+        stage_seconds={name: ph.elapsed for name, ph in res.phases.items()},
+        extras={
+            **{k: v for k, v in info.items() if k != "pos"},
+            "nranks": res.nranks,
+            "comm_fraction": res.comm_fraction,
+            "phase_comm": {
+                name: ph.comm_fraction for name, ph in res.phases.items()
+            },
+        },
+    )
+    if max_imbalance is not None:
+        out.validate(max_imbalance)
+    return out
+
+
+def scalapart_parallel(
+    graph: CSRGraph,
+    nranks: int,
+    config: Optional[ScalaPartConfig] = None,
+    seed: SeedLike = None,
+    machine: MachineModel = QDR_CLUSTER,
+) -> PartitionResult:
+    """Run distributed ScalaPart on ``nranks`` virtual ranks."""
+    if graph.num_vertices < 2:
+        raise PartitionError("cannot bisect fewer than 2 vertices")
+    res = run_spmd(dist_scalapart, nranks, graph, config, seed,
+                   machine=machine, seed=derive_seed(seed, 1))
+    return _package(graph, res, "ScalaPart")
+
+
+def sp_pg7_nl_parallel(
+    graph: CSRGraph,
+    coords: np.ndarray,
+    nranks: int,
+    config: Optional[ScalaPartConfig] = None,
+    seed: SeedLike = None,
+    machine: MachineModel = QDR_CLUSTER,
+) -> PartitionResult:
+    """Run the partition-only component (SP-PG7-NL) on given coordinates
+    — the paper's Figure 4 comparison against RCB."""
+
+    def prog(comm):
+        comm.set_phase("partition")
+        return (yield from dist_sp_pg7_nl(comm, graph, coords,
+                                          config=config, seed=seed))
+
+    res = run_spmd(prog, nranks, machine=machine, seed=derive_seed(seed, 2))
+    return _package(graph, res, "SP-PG7-NL")
+
+
+def parmetis_parallel(
+    graph: CSRGraph,
+    nranks: int,
+    seed: SeedLike = None,
+    machine: MachineModel = QDR_CLUSTER,
+    max_imbalance: float = 0.05,
+) -> PartitionResult:
+    """Run the distributed ParMetis analogue."""
+
+    def prog(comm):
+        return (yield from dist_parmetis_like(comm, graph, seed=seed,
+                                              max_imbalance=max_imbalance))
+
+    res = run_spmd(prog, nranks, machine=machine, seed=derive_seed(seed, 3))
+    return _package(graph, res, "ParMetis-like")
+
+
+def scotch_parallel(
+    graph: CSRGraph,
+    nranks: int,
+    seed: SeedLike = None,
+    machine: MachineModel = QDR_CLUSTER,
+    max_imbalance: float = 0.05,
+) -> PartitionResult:
+    """Run the distributed Pt-Scotch analogue."""
+
+    def prog(comm):
+        return (yield from dist_scotch_like(comm, graph, seed=seed,
+                                            max_imbalance=max_imbalance))
+
+    res = run_spmd(prog, nranks, machine=machine, seed=derive_seed(seed, 4))
+    return _package(graph, res, "Pt-Scotch-like")
+
+
+def rcb_parallel(
+    graph: CSRGraph,
+    coords: np.ndarray,
+    nranks: int,
+    machine: MachineModel = QDR_CLUSTER,
+) -> PartitionResult:
+    """Run distributed RCB on given coordinates."""
+
+    def prog(comm):
+        comm.set_phase("partition")
+        return (yield from dist_rcb_bisect(comm, graph, coords))
+
+    res = run_spmd(prog, nranks, machine=machine, seed=0)
+    return _package(graph, res, "RCB")

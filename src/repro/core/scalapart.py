@@ -1,0 +1,122 @@
+"""ScalaPart — sequential reference implementation.
+
+The full pipeline of paper §3 in its sequential form (the distributed
+form in :mod:`repro.core.parallel` mirrors it stage for stage on the
+virtual machine):
+
+1. **Coarsening** — heavy-edge matching, every other graph retained
+   (sizes ÷4 per level);
+2. **Multilevel fixed-lattice embedding** — exact-force FDL on the
+   coarsest graph, then projection (coordinates ×2, jitter) and
+   fixed-lattice smoothing per level;
+3. **Parallel geometric partitioning** — G7-NL-style great circles on
+   the embedded graph, best cut by separator size;
+4. **Strip refinement** — FM restricted to the coordinate strip around
+   the winning circle.
+
+:func:`sp_pg7_nl` exposes stages 3–4 alone: the paper's "SP-PG7-NL",
+used when coordinates already exist (Figure 4's comparison with RCB).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..embed.multilevel import multilevel_embedding
+from ..errors import PartitionError
+from ..geometric.gmt import geometric_partition
+from ..graph.csr import CSRGraph
+from ..refine.strip import strip_refine
+from ..rng import SeedLike, derive_seed
+from .config import ScalaPartConfig
+from ..results import PartitionResult
+
+__all__ = ["scalapart", "sp_pg7_nl"]
+
+
+def sp_pg7_nl(
+    graph: CSRGraph,
+    coords: np.ndarray,
+    config: Optional[ScalaPartConfig] = None,
+    seed: SeedLike = None,
+) -> PartitionResult:
+    """Partition a graph that already has coordinates (stages 3–4).
+
+    Great-circle separators only (no lines, no eigenvectors — the
+    choices §3 makes "in the interests of parallel scalability"),
+    followed by strip-restricted FM.
+    """
+    cfg = config or ScalaPartConfig()
+    t0 = time.perf_counter()
+    gmt = geometric_partition(
+        graph,
+        coords,
+        ncircles=cfg.ncircles,
+        nlines=0,
+        ncenterpoints=1,
+        seed=derive_seed(seed, 0x5B),
+        sample_size=cfg.centerpoint_sample,
+    )
+    t_geom = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    refined = strip_refine(
+        gmt.bisection,
+        gmt.sdist,
+        factor=cfg.strip_factor,
+        max_imbalance=cfg.max_imbalance,
+        max_passes=cfg.strip_passes,
+    )
+    t_refine = time.perf_counter() - t1
+    return PartitionResult(
+        bisection=refined.bisection,
+        method="SP-PG7-NL",
+        seconds=time.perf_counter() - t0,
+        stage_seconds={"partition": t_geom, "refine": t_refine},
+        extras={
+            "geometric_cut": gmt.cut,
+            "strip_size": refined.strip_size,
+            "strip_factor": refined.strip_factor,
+            "sdist": gmt.sdist,
+        },
+    )
+
+
+def scalapart(
+    graph: CSRGraph,
+    config: Optional[ScalaPartConfig] = None,
+    seed: SeedLike = None,
+) -> PartitionResult:
+    """Full sequential ScalaPart: embed, then partition and refine."""
+    if graph.num_vertices < 2:
+        raise PartitionError("cannot bisect fewer than 2 vertices")
+    cfg = config or ScalaPartConfig()
+    t0 = time.perf_counter()
+    emb = multilevel_embedding(
+        graph,
+        seed=derive_seed(seed, 0xE3BED0),
+        c=cfg.c,
+        coarsest_size=cfg.coarsest_size,
+        coarsest_iters=cfg.coarsest_iters,
+        smooth_iters=cfg.smooth_iters,
+        jitter=cfg.jitter,
+        repulsion="lattice",
+    )
+    t_embed = time.perf_counter() - t0
+    part = sp_pg7_nl(graph, emb.pos, cfg, seed=seed)
+    return PartitionResult(
+        bisection=part.bisection,
+        method="ScalaPart",
+        seconds=t_embed + part.seconds,
+        stage_seconds={
+            "embed": t_embed,
+            **part.stage_seconds,
+        },
+        extras={
+            **part.extras,
+            "pos": emb.pos,
+            "levels": emb.num_levels,
+        },
+    )

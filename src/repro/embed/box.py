@@ -1,0 +1,107 @@
+"""Axis-aligned bounding boxes and lattice-cell arithmetic.
+
+The fixed-lattice embedding views the bounding box ``B`` of the current
+embedding as a ``√P × √P`` lattice of sub-domains ``B_{i,j}`` (paper
+§3).  This module centralises the box geometry: construction from point
+sets, the ×2-per-axis scaling used by multilevel projection, and the
+mapping of points to lattice cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import EmbeddingError
+
+__all__ = ["Box", "cell_indices", "cell_ids"]
+
+
+@dataclass(frozen=True)
+class Box:
+    """A 2-D axis-aligned box ``[lo, hi]``."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        lo = np.asarray(self.lo, dtype=np.float64).reshape(2)
+        hi = np.asarray(self.hi, dtype=np.float64).reshape(2)
+        if not np.all(hi >= lo):
+            raise EmbeddingError(f"degenerate box: lo={lo}, hi={hi}")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    @classmethod
+    def of_points(cls, points: np.ndarray, pad: float = 1e-9) -> "Box":
+        """Smallest box containing ``points`` (slightly padded so the
+        maximal point still maps to the last lattice cell)."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.size == 0:
+            return cls(np.zeros(2), np.ones(2))
+        lo = points.min(axis=0)
+        hi = points.max(axis=0)
+        span = np.maximum(hi - lo, 1e-12)
+        return cls(lo - pad * span, hi + pad * span)
+
+    @classmethod
+    def unit(cls) -> "Box":
+        return cls(np.zeros(2), np.ones(2))
+
+    @property
+    def size(self) -> np.ndarray:
+        return self.hi - self.lo
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.hi + self.lo) / 2.0
+
+    def scaled(self, factor: float) -> "Box":
+        """Scale about the origin (the paper scales boxes *and*
+        coordinates by 2 per level, which is scaling about 0)."""
+        return Box(self.lo * factor, self.hi * factor)
+
+    def expanded(self, factor: float) -> "Box":
+        """Grow symmetrically about the centre by ``factor``."""
+        c, half = self.center, self.size / 2.0
+        return Box(c - half * factor, c + half * factor)
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return np.all((points >= self.lo) & (points <= self.hi), axis=1)
+
+    def clip(self, points: np.ndarray) -> np.ndarray:
+        return np.clip(points, self.lo, self.hi)
+
+    def cell_box(self, i: int, j: int, s: int) -> "Box":
+        """Sub-box of lattice cell (row i, col j) on an s×s lattice."""
+        if not (0 <= i < s and 0 <= j < s):
+            raise EmbeddingError(f"cell ({i},{j}) outside {s}x{s} lattice")
+        step = self.size / s
+        # rows index y, columns index x
+        lo = self.lo + np.array([j * step[0], i * step[1]])
+        return Box(lo, lo + step)
+
+
+def cell_indices(points: np.ndarray, box: Box, s: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Lattice (row, col) of every point on an ``s × s`` lattice over ``box``.
+
+    Rows index the y axis, columns the x axis; points outside the box
+    are clamped to the border cells (the embedding moves vertices, and
+    clamping matches the paper's treatment of ghost coordinates).
+    """
+    if s < 1:
+        raise EmbeddingError(f"lattice side must be >= 1, got {s}")
+    points = np.asarray(points, dtype=np.float64)
+    rel = (points - box.lo) / np.maximum(box.size, 1e-300)
+    col = np.clip((rel[:, 0] * s).astype(np.int64), 0, s - 1)
+    row = np.clip((rel[:, 1] * s).astype(np.int64), 0, s - 1)
+    return row, col
+
+
+def cell_ids(points: np.ndarray, box: Box, s: int) -> np.ndarray:
+    """Flattened row-major cell id (``row * s + col``) of every point."""
+    row, col = cell_indices(points, box, s)
+    return row * s + col

@@ -1,0 +1,160 @@
+"""Multilevel graph embedding: projection + fixed-lattice smoothing.
+
+Sequential form of the paper's embedding pipeline (§3, "Multilevel
+Fixed Lattice Parallel Graph Embedding" and "Multilevel Projection and
+Smoothing"):
+
+1. coarsen with heavy-edge matching, retaining every other graph so
+   sizes drop ~4× per level;
+2. embed the coarsest graph (a few hundred vertices) with the exact
+   force-directed scheme from random initial coordinates;
+3. walking back up, every fine vertex inherits its super-vertex's
+   coordinates *scaled by 2 per axis* (the bounding box quadruples in
+   area as the vertex count quadruples) plus a small random translation,
+   and the level is smoothed with a few fixed-lattice FDL iterations.
+
+The same function doubles as our stand-in for Hu's Mathematica layout
+code (which the paper uses to give coordinates to RCB and the
+sequential geometric partitioners): :func:`hu_layout` simply runs it
+with Barnes–Hut smoothing for a few extra iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import List, Optional
+
+import numpy as np
+
+from ..coarsen import Hierarchy, build_hierarchy
+from ..errors import EmbeddingError
+from ..graph.csr import CSRGraph
+from ..rng import SeedLike, as_generator, derive_seed
+from .box import Box
+from .fdl import LayoutResult, force_directed_layout, random_positions
+from .forces import DEFAULT_C
+from .lattice import repulsive_forces_lattice
+from .quadtree import repulsive_forces_bh
+
+__all__ = ["EmbeddingResult", "multilevel_embedding", "hu_layout", "lattice_side_for"]
+
+
+@dataclass(frozen=True)
+class EmbeddingResult:
+    """Coordinates for the input graph plus per-level diagnostics."""
+
+    pos: np.ndarray
+    hierarchy: Hierarchy
+    level_iterations: List[int]
+    coarsest_result: LayoutResult
+
+    @property
+    def num_levels(self) -> int:
+        return self.hierarchy.num_levels
+
+
+def lattice_side_for(n: int, per_cell: float = 32.0, s_max: int = 64) -> int:
+    """Lattice side so cells hold ~``per_cell`` vertices on average.
+
+    The distributed algorithm fixes ``s = √P``; the sequential smoother
+    picks the side from the level size instead (finer graphs get finer
+    lattices, mirroring how P grows as levels refine).
+    """
+    if n < 1:
+        return 1
+    s = int(np.sqrt(n / per_cell)) or 1
+    return int(min(s_max, max(2, s)))
+
+
+def multilevel_embedding(
+    graph: CSRGraph,
+    *,
+    seed: SeedLike = None,
+    c: float = DEFAULT_C,
+    coarsest_size: int = 160,
+    coarsest_iters: int = 300,
+    smooth_iters: int = 16,
+    jitter: float = 0.25,
+    repulsion: str = "lattice",
+    lattice_per_cell: float = 32.0,
+    hierarchy: Optional[Hierarchy] = None,
+) -> EmbeddingResult:
+    """Embed an arbitrary graph in the plane.
+
+    ``repulsion`` selects the smoothing kernel for the refined levels:
+    ``"lattice"`` (the paper's scheme) or ``"bh"`` (Barnes–Hut, the
+    higher-fidelity reference used for the ablation benchmarks).
+    """
+    if repulsion not in ("lattice", "bh"):
+        raise EmbeddingError(f"unknown repulsion {repulsion!r}")
+    if graph.num_vertices == 0:
+        return EmbeddingResult(
+            np.zeros((0, 2)), Hierarchy([graph], []), [], LayoutResult(np.zeros((0, 2)), 0, True, 0.0, 0.0)
+        )
+    rng = as_generator(derive_seed(seed, 0xE3BED))
+    h = hierarchy if hierarchy is not None else build_hierarchy(
+        graph, coarsest_size=coarsest_size, keep_every_other=True, seed=seed
+    )
+
+    # -- coarsest level: exact forces from random coordinates ----------
+    coarsest = h.coarsest
+    pos = random_positions(coarsest.num_vertices, rng)
+    coarse_res = force_directed_layout(
+        coarsest,
+        pos,
+        masses=coarsest.vwgt,
+        c=c,
+        max_iters=coarsest_iters,
+        repulsion="auto",
+    )
+    pos = coarse_res.pos
+    level_iters = [coarse_res.iterations]
+
+    # -- uncoarsen: inherit (scaled), jitter, smooth --------------------
+    for level in range(h.num_levels - 2, -1, -1):
+        g = h.graphs[level]
+        cmap = h.cmaps[level]
+        pos = 2.0 * pos[cmap]  # box scales by 2 per axis (paper §3)
+        pos = pos + rng.normal(scale=jitter, size=pos.shape)
+        if repulsion == "lattice":
+            s = lattice_side_for(g.num_vertices, lattice_per_cell)
+            box = Box.of_points(pos).expanded(1.05)
+            kernel = partial(_lattice_kernel, box=box, s=s)
+        else:
+            kernel = _bh_kernel
+        res = force_directed_layout(
+            g,
+            pos,
+            masses=g.vwgt,
+            c=c,
+            max_iters=smooth_iters,
+            step0=1.0,
+            repulsion=kernel,
+        )
+        pos = res.pos
+        level_iters.append(res.iterations)
+
+    return EmbeddingResult(pos, h, level_iters, coarse_res)
+
+
+def _lattice_kernel(pos, masses, c, k, box, s):
+    return repulsive_forces_lattice(pos, masses, c, k, box=box, s=s)
+
+
+def _bh_kernel(pos, masses, c, k):
+    return repulsive_forces_bh(pos, masses, c, k)
+
+
+def hu_layout(graph: CSRGraph, seed: SeedLike = None, smooth_iters: int = 30) -> np.ndarray:
+    """High-quality multilevel force-directed coordinates.
+
+    Stand-in for the Mathematica/Hu layout the paper uses to provide
+    coordinates to RCB, G30, G7 and G7-NL (§4: "We provide such
+    coordinates using the force-based graph drawing code ... developed
+    by Hu").  Uses Barnes–Hut smoothing, which is closer to Hu's
+    original algorithm than the fixed lattice.
+    """
+    return multilevel_embedding(
+        graph, seed=seed, repulsion="bh", smooth_iters=smooth_iters
+    ).pos

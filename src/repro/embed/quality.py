@@ -1,0 +1,145 @@
+"""Embedding-quality metrics.
+
+The paper closes by promising to "study in greater detail ... the
+relationship between embedding time, quality and partition quality".
+These metrics make that relationship measurable:
+
+* :func:`edge_length_stats` — mean/std/CV of embedded edge lengths (a
+  force-directed layout at equilibrium has near-uniform springs);
+* :func:`neighborhood_preservation` — fraction of each vertex's graph
+  neighbours found among its nearest spatial neighbours (what the
+  geometric partitioner actually needs: graph locality ⇒ spatial
+  locality);
+* :func:`normalized_stress` — the classic MDS stress between hop
+  distances and Euclidean distances on sampled pairs;
+* :func:`crossing_proxy` — mean edge length relative to the layout
+  diameter (long edges are the ones geometric cuts pay for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import EmbeddingError
+from ..graph.csr import CSRGraph
+from ..rng import SeedLike, as_generator
+from .ssde import bfs_hops
+
+__all__ = [
+    "EdgeLengthStats",
+    "edge_length_stats",
+    "neighborhood_preservation",
+    "normalized_stress",
+    "crossing_proxy",
+]
+
+
+@dataclass(frozen=True)
+class EdgeLengthStats:
+    mean: float
+    std: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (0 = perfectly uniform springs)."""
+        return self.std / self.mean if self.mean > 0 else 0.0
+
+
+def _check(graph: CSRGraph, pos: np.ndarray) -> np.ndarray:
+    pos = np.asarray(pos, dtype=np.float64)
+    if pos.shape != (graph.num_vertices, 2):
+        raise EmbeddingError(
+            f"pos must be ({graph.num_vertices}, 2), got {pos.shape}"
+        )
+    return pos
+
+
+def edge_length_stats(graph: CSRGraph, pos: np.ndarray) -> EdgeLengthStats:
+    """Mean and standard deviation of embedded edge lengths."""
+    pos = _check(graph, pos)
+    edges, _ = graph.edge_list()
+    if edges.shape[0] == 0:
+        return EdgeLengthStats(0.0, 0.0)
+    d = np.linalg.norm(pos[edges[:, 0]] - pos[edges[:, 1]], axis=1)
+    return EdgeLengthStats(float(d.mean()), float(d.std()))
+
+
+def neighborhood_preservation(
+    graph: CSRGraph,
+    pos: np.ndarray,
+    sample: int = 500,
+    seed: SeedLike = None,
+) -> float:
+    """Mean fraction of graph neighbours among the ``deg(v)`` nearest
+    spatial neighbours, over a vertex sample.  1.0 = the embedding
+    perfectly respects adjacency."""
+    pos = _check(graph, pos)
+    from scipy.spatial import cKDTree
+
+    n = graph.num_vertices
+    if n < 3:
+        return 1.0
+    rng = as_generator(seed)
+    verts = (
+        rng.choice(n, size=min(sample, n), replace=False)
+        if n > sample
+        else np.arange(n)
+    )
+    tree = cKDTree(pos)
+    scores = []
+    for v in verts:
+        nbrs = graph.neighbors(int(v))
+        deg = nbrs.shape[0]
+        if deg == 0:
+            continue
+        _, idx = tree.query(pos[v], k=deg + 1)
+        near = set(np.atleast_1d(idx).tolist()) - {int(v)}
+        scores.append(len(near & set(nbrs.tolist())) / deg)
+    return float(np.mean(scores)) if scores else 1.0
+
+
+def normalized_stress(
+    graph: CSRGraph,
+    pos: np.ndarray,
+    landmarks: int = 6,
+    seed: SeedLike = None,
+) -> float:
+    """Stress between hop distances and Euclidean distances.
+
+    Uses BFS distances from a few landmarks (all-pairs is O(n²));
+    scale-invariant: the optimal uniform scaling is applied first.
+    Lower is better; 0 = perfect metric embedding.
+    """
+    pos = _check(graph, pos)
+    n = graph.num_vertices
+    if n < 3:
+        return 0.0
+    rng = as_generator(seed)
+    lm = rng.choice(n, size=min(landmarks, n), replace=False)
+    hop_list, euc_list = [], []
+    for s in lm:
+        h = bfs_hops(graph, int(s))
+        ok = h > 0
+        hop_list.append(h[ok].astype(np.float64))
+        euc_list.append(np.linalg.norm(pos[ok] - pos[int(s)], axis=1))
+    hop = np.concatenate(hop_list)
+    euc = np.concatenate(euc_list)
+    if hop.size == 0:
+        return 0.0
+    # optimal scale alpha minimising sum (alpha*euc - hop)^2
+    denom = float((euc * euc).sum())
+    alpha = float((euc * hop).sum()) / denom if denom > 0 else 1.0
+    resid = alpha * euc - hop
+    return float((resid * resid).sum() / (hop * hop).sum())
+
+
+def crossing_proxy(graph: CSRGraph, pos: np.ndarray) -> float:
+    """Mean edge length / layout diameter (lower = tighter locality)."""
+    pos = _check(graph, pos)
+    stats = edge_length_stats(graph, pos)
+    span = pos.max(axis=0) - pos.min(axis=0) if pos.size else np.zeros(2)
+    diam = float(np.linalg.norm(span))
+    return stats.mean / diam if diam > 0 else 0.0

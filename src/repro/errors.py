@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so callers can catch library failures without
+swallowing programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs or invalid graph operations."""
+
+
+class PartitionError(ReproError):
+    """Raised for invalid partitions (non-covering, unbalanced, ...)."""
+
+
+class EmbeddingError(ReproError):
+    """Raised when an embedding cannot be computed or is degenerate."""
+
+
+class GeometryError(ReproError):
+    """Raised by the geometric partitioner (degenerate point sets, ...)."""
+
+
+class CommError(ReproError):
+    """Raised by the virtual parallel machine for communication misuse."""
+
+
+class DeadlockError(CommError):
+    """Raised when the SPMD engine detects that no rank can make progress."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid configuration values."""

@@ -1,0 +1,35 @@
+"""Geometric mesh partitioning (Gilbert–Miller–Teng) and helpers."""
+
+from .centerpoint import approx_centerpoint, centerpoint_depth, radon_point
+from .circles import (
+    Candidate,
+    circle_candidates,
+    evaluate_cuts,
+    line_candidates,
+    median_split,
+    random_unit_vectors,
+)
+from .gmt import GMTResult, g30, g7, g7_nl, geometric_partition, normalize_coords
+from .stereo import conformal_to_center, lift, project, rotation_to_south
+
+__all__ = [
+    "approx_centerpoint",
+    "centerpoint_depth",
+    "radon_point",
+    "Candidate",
+    "circle_candidates",
+    "evaluate_cuts",
+    "line_candidates",
+    "median_split",
+    "random_unit_vectors",
+    "GMTResult",
+    "g30",
+    "g7",
+    "g7_nl",
+    "geometric_partition",
+    "normalize_coords",
+    "conformal_to_center",
+    "lift",
+    "project",
+    "rotation_to_south",
+]

@@ -1,0 +1,102 @@
+"""Approximate centerpoints via iterated Radon reduction.
+
+A *centerpoint* of a point set in ℝ^d is a point such that every
+halfspace containing it contains ≥ n/(d+1) of the points; GMT's balance
+guarantee for great-circle separators rests on cutting through one.
+Exact centerpoints are expensive; the standard approximation (Clarkson
+et al., used by the meshpart implementation the paper builds on) is
+*Radon reduction*: repeatedly replace random groups of d+2 points by
+their Radon point — a point common to the convex hulls of both halves
+of a Radon partition — until few points remain; their centroid is the
+answer.  The paper's parallel formulation computes this "fast using
+sampling across processors", which
+:func:`repro.geometric.parallel` reuses directly via ``sample_size``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import GeometryError
+from ..rng import SeedLike, as_generator
+
+__all__ = ["radon_point", "approx_centerpoint", "centerpoint_depth"]
+
+
+def radon_point(points: np.ndarray) -> np.ndarray:
+    """Radon point of ``d+2`` points in ℝ^d.
+
+    Solves ``Σλ_i = 0, Σλ_i p_i = 0`` for a nontrivial λ (null space of
+    the ``(d+1) × (d+2)`` system); the Radon point is the convex
+    combination of the positive-λ points with weights λ⁺.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] != pts.shape[1] + 2:
+        raise GeometryError(f"radon_point needs (d+2, d) points, got {pts.shape}")
+    d = pts.shape[1]
+    a = np.vstack([np.ones((1, d + 2)), pts.T])  # (d+1, d+2)
+    _, _, vh = np.linalg.svd(a)
+    lam = vh[-1]
+    pos = lam > 0
+    s_pos = lam[pos].sum()
+    if s_pos <= 1e-300 or pos.all():
+        # numerically degenerate configuration: fall back to centroid
+        return pts.mean(axis=0)
+    return (lam[pos, None] * pts[pos]).sum(axis=0) / s_pos
+
+
+def approx_centerpoint(
+    points: np.ndarray,
+    seed: SeedLike = None,
+    sample_size: int = 1000,
+) -> np.ndarray:
+    """Approximate centerpoint by iterated Radon reduction.
+
+    A random sample of ``sample_size`` points is repeatedly reduced:
+    each pass shuffles the current set, groups it into (d+2)-tuples and
+    replaces every tuple by its Radon point; leftovers carry over.  The
+    final handful is averaged.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise GeometryError("approx_centerpoint expects (n, d) points")
+    n, d = pts.shape
+    if n == 0:
+        raise GeometryError("cannot take the centerpoint of no points")
+    g = d + 2
+    if n <= g:
+        return pts.mean(axis=0)
+    rng = as_generator(seed)
+    if n > sample_size:
+        pts = pts[rng.choice(n, size=sample_size, replace=False)]
+    current = pts
+    while current.shape[0] > g:
+        order = rng.permutation(current.shape[0])
+        current = current[order]
+        ngroups = current.shape[0] // g
+        reduced = [
+            radon_point(current[i * g : (i + 1) * g]) for i in range(ngroups)
+        ]
+        leftover = current[ngroups * g :]
+        current = np.vstack([np.asarray(reduced), leftover]) if reduced else leftover
+    return current.mean(axis=0)
+
+
+def centerpoint_depth(points: np.ndarray, cp: np.ndarray, ntrials: int = 200,
+                      seed: SeedLike = None) -> float:
+    """Empirical Tukey-depth lower bound of ``cp`` (testing helper).
+
+    Samples random directions and returns the minimum fraction of
+    points on the lighter side of the hyperplane through ``cp``.  A true
+    centerpoint in ℝ^d has depth ≥ 1/(d+1).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    cp = np.asarray(cp, dtype=np.float64)
+    rng = as_generator(seed)
+    dirs = rng.normal(size=(ntrials, pts.shape[1]))
+    dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+    proj = (pts - cp) @ dirs.T  # (n, ntrials)
+    frac_pos = (proj > 0).mean(axis=0)
+    return float(np.minimum(frac_pos, 1.0 - frac_pos).min())

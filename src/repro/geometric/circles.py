@@ -1,0 +1,123 @@
+"""Separator candidates: great circles and lines, and their evaluation.
+
+A great circle with unit normal ``g`` through the sphere's centre
+induces the split ``sign(u_i · g)``; a line separator with direction
+``d`` in the plane induces ``sign(x_i · d − θ)``.  Following standard
+practice (and the paper's requirement of |V₁| ≈ |V₂|), every candidate
+is shifted to the *weighted median* of its projection values, which
+makes each candidate exactly balanced up to one vertex regardless of
+ties — the selection then only compares cut sizes.
+
+``sdist`` — the projection value minus the median — orders vertices by
+distance from the separating surface and is exactly what the strip
+refinement consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GeometryError
+from ..graph.csr import CSRGraph
+from ..rng import SeedLike, as_generator
+
+__all__ = [
+    "Candidate",
+    "median_split",
+    "circle_candidates",
+    "line_candidates",
+    "evaluate_cuts",
+    "random_unit_vectors",
+]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One separator candidate: a balanced split plus its geometry."""
+
+    kind: str  # "circle" or "line"
+    side: np.ndarray  # int8 labels
+    sdist: np.ndarray  # signed distance proxy (projection minus median)
+
+
+def random_unit_vectors(rng: np.random.Generator, n: int, dim: int) -> np.ndarray:
+    """``n`` uniformly distributed unit vectors in ℝ^dim."""
+    v = rng.normal(size=(n, dim))
+    norms = np.linalg.norm(v, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return v / norms
+
+
+def median_split(values: np.ndarray, weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Split at the weighted median of ``values``.
+
+    Returns ``(side, sdist)``: side 1 holds the upper weighted half
+    (balanced up to one vertex even under ties, because the split is by
+    *rank*, not by threshold comparison), and ``sdist`` is
+    ``values − median_value``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    n = values.shape[0]
+    side = np.zeros(n, dtype=np.int8)
+    if n == 0:
+        return side, values.copy()
+    order = np.argsort(values, kind="stable")
+    cum = np.cumsum(weights[order])
+    half = cum[-1] / 2.0
+    k = int(np.searchsorted(cum, half, side="left")) + 1
+    k = min(max(k, 1), n - 1) if n > 1 else 0
+    side[order[k:]] = 1
+    median_value = values[order[k - 1]] if n > 1 else values[order[0]]
+    return side, values - median_value
+
+
+def circle_candidates(
+    upoints: np.ndarray,
+    vwgt: np.ndarray,
+    ntries: int,
+    rng: np.random.Generator,
+) -> List[Candidate]:
+    """Great-circle candidates on centred sphere points ``(n, 3)``."""
+    upoints = np.asarray(upoints, dtype=np.float64)
+    if upoints.ndim != 2 or upoints.shape[1] != 3:
+        raise GeometryError("circle candidates need (n, 3) sphere points")
+    normals = random_unit_vectors(rng, ntries, 3)
+    out = []
+    for g in normals:
+        sval = upoints @ g
+        side, sdist = median_split(sval, vwgt)
+        out.append(Candidate("circle", side, sdist))
+    return out
+
+
+def line_candidates(
+    points: np.ndarray,
+    vwgt: np.ndarray,
+    ntries: int,
+    rng: np.random.Generator,
+) -> List[Candidate]:
+    """Line-separator candidates on plane points ``(n, 2)``."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise GeometryError("line candidates need (n, 2) points")
+    dirs = random_unit_vectors(rng, ntries, 2)
+    out = []
+    for d in dirs:
+        sval = points @ d
+        side, sdist = median_split(sval, vwgt)
+        out.append(Candidate("line", side, sdist))
+    return out
+
+
+def evaluate_cuts(graph: CSRGraph, candidates: Sequence[Candidate]) -> np.ndarray:
+    """Cut weight of every candidate, batched over the adjacency arrays."""
+    if not candidates:
+        return np.zeros(0)
+    sides = np.stack([c.side for c in candidates], axis=1)  # (n, t)
+    src = graph.edge_sources()
+    crossing = sides[src, :] != sides[graph.indices, :]  # (2m, t)
+    return graph.ewgt @ crossing / 2.0

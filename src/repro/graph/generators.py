@@ -1,0 +1,372 @@
+"""Synthetic graph generators.
+
+The paper evaluates on nine graphs from the University of Florida sparse
+matrix collection (Table 1).  Those exact matrices are unavailable
+offline, so this module provides *generators for graphs of the same
+character* — 5-point grids (ecology), Delaunay triangulations
+(delaunay_n*), perforated meshes (hugetrace / hugebubbles), circuit-like
+grids with irregular shorts (G3_circuit) and KKT-structured power-flow
+graphs (kkt_power) — plus small classical graphs used throughout the
+test suite (paths, cycles, stars, complete graphs, random regular /
+geometric graphs).
+
+Every generator returns a :class:`GeneratedGraph` bundling the
+:class:`~repro.graph.csr.CSRGraph` with native 2-D coordinates when the
+construction has them (``None`` otherwise).  Note that the paper gives
+RCB / G30 coordinates from a *force-directed embedding*, not native mesh
+coordinates; the benchmark harness follows suit, but native coordinates
+are invaluable for unit-testing the geometric partitioner in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import GraphError
+from ..rng import SeedLike, as_generator
+from .csr import CSRGraph
+
+__all__ = [
+    "GeneratedGraph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid2d",
+    "grid3d",
+    "delaunay_mesh",
+    "random_delaunay",
+    "perforated_delaunay",
+    "annulus_delaunay",
+    "circuit_grid",
+    "kkt_power_like",
+    "random_geometric",
+    "random_regular",
+    "preferential_attachment",
+    "caterpillar",
+]
+
+
+def _simplices_to_edges(simplices: np.ndarray) -> np.ndarray:
+    """Unique undirected edge list from triangle simplices.
+
+    Interior mesh edges belong to two triangles; they must appear once
+    (with unit weight), so duplicates are removed rather than merged.
+    """
+    s = simplices
+    e = np.vstack([s[:, [0, 1]], s[:, [1, 2]], s[:, [0, 2]]])
+    e = np.sort(e, axis=1)
+    return np.unique(e, axis=0)
+
+
+@dataclass(frozen=True)
+class GeneratedGraph:
+    """A generated graph plus optional native coordinates and a name."""
+
+    graph: CSRGraph
+    coords: Optional[np.ndarray] = None
+    name: str = ""
+
+    def __iter__(self):
+        # allow ``graph, coords = generator(...)`` unpacking
+        return iter((self.graph, self.coords))
+
+
+# ----------------------------------------------------------------------
+# classical small graphs (test scaffolding)
+# ----------------------------------------------------------------------
+
+def path_graph(n: int) -> GeneratedGraph:
+    """Path ``0-1-...-(n-1)`` with coordinates on a line."""
+    e = np.column_stack([np.arange(n - 1), np.arange(1, n)]) if n > 1 else np.zeros((0, 2), dtype=np.int64)
+    coords = np.column_stack([np.arange(n, dtype=np.float64), np.zeros(n)])
+    return GeneratedGraph(CSRGraph.from_edges(n, e), coords, f"path{n}")
+
+
+def cycle_graph(n: int) -> GeneratedGraph:
+    """Cycle on ``n`` vertices placed on the unit circle."""
+    if n < 3:
+        raise GraphError("cycle needs n >= 3")
+    e = np.column_stack([np.arange(n), (np.arange(n) + 1) % n])
+    t = 2 * np.pi * np.arange(n) / n
+    return GeneratedGraph(
+        CSRGraph.from_edges(n, e), np.column_stack([np.cos(t), np.sin(t)]), f"cycle{n}"
+    )
+
+
+def star_graph(n: int) -> GeneratedGraph:
+    """Star: vertex 0 connected to ``1..n-1``."""
+    e = np.column_stack([np.zeros(n - 1, dtype=np.int64), np.arange(1, n)])
+    return GeneratedGraph(CSRGraph.from_edges(n, e), None, f"star{n}")
+
+
+def complete_graph(n: int) -> GeneratedGraph:
+    iu = np.triu_indices(n, 1)
+    return GeneratedGraph(
+        CSRGraph.from_edges(n, np.column_stack(iu)), None, f"K{n}"
+    )
+
+
+def caterpillar(spine: int, legs: int) -> GeneratedGraph:
+    """Path of length ``spine`` with ``legs`` pendant vertices per spine node."""
+    n = spine * (1 + legs)
+    sp = np.arange(spine)
+    e = [np.column_stack([sp[:-1], sp[1:]])]
+    leg_ids = spine + np.arange(spine * legs)
+    owners = np.repeat(sp, legs)
+    if legs:
+        e.append(np.column_stack([owners, leg_ids]))
+    return GeneratedGraph(
+        CSRGraph.from_edges(n, np.vstack(e)), None, f"caterpillar{spine}x{legs}"
+    )
+
+
+# ----------------------------------------------------------------------
+# meshes
+# ----------------------------------------------------------------------
+
+def grid2d(
+    nx: int, ny: int, periodic: bool = False, diagonals: bool = False
+) -> GeneratedGraph:
+    """``nx × ny`` 5-point grid (optionally periodic / 8-point).
+
+    This is the analogue of the ``ecology1``/``ecology2`` matrices,
+    which are 5-point discretisations of a 2-D landscape model.
+    """
+    if nx < 1 or ny < 1:
+        raise GraphError("grid dimensions must be positive")
+    idx = np.arange(nx * ny).reshape(ny, nx)
+    blocks = [
+        np.column_stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()]),
+        np.column_stack([idx[:-1, :].ravel(), idx[1:, :].ravel()]),
+    ]
+    if diagonals:
+        blocks.append(np.column_stack([idx[:-1, :-1].ravel(), idx[1:, 1:].ravel()]))
+        blocks.append(np.column_stack([idx[1:, :-1].ravel(), idx[:-1, 1:].ravel()]))
+    if periodic and nx > 2:
+        blocks.append(np.column_stack([idx[:, -1], idx[:, 0]]))
+    if periodic and ny > 2:
+        blocks.append(np.column_stack([idx[-1, :], idx[0, :]]))
+    edges = np.vstack(blocks) if blocks else np.zeros((0, 2), dtype=np.int64)
+    xs, ys = np.meshgrid(np.arange(nx, dtype=np.float64), np.arange(ny, dtype=np.float64))
+    coords = np.column_stack([xs.ravel(), ys.ravel()])
+    return GeneratedGraph(CSRGraph.from_edges(nx * ny, edges), coords, f"grid{nx}x{ny}")
+
+
+def grid3d(nx: int, ny: int, nz: int) -> GeneratedGraph:
+    """``nx × ny × nz`` 7-point grid (coordinates are the first two axes)."""
+    idx = np.arange(nx * ny * nz).reshape(nz, ny, nx)
+    blocks = [
+        np.column_stack([idx[:, :, :-1].ravel(), idx[:, :, 1:].ravel()]),
+        np.column_stack([idx[:, :-1, :].ravel(), idx[:, 1:, :].ravel()]),
+        np.column_stack([idx[:-1, :, :].ravel(), idx[1:, :, :].ravel()]),
+    ]
+    edges = np.vstack(blocks)
+    return GeneratedGraph(
+        CSRGraph.from_edges(nx * ny * nz, edges), None, f"grid{nx}x{ny}x{nz}"
+    )
+
+
+def delaunay_mesh(points: np.ndarray, name: str = "delaunay") -> GeneratedGraph:
+    """Delaunay triangulation of an ``(n, 2)`` point set."""
+    from scipy.spatial import Delaunay
+
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise GraphError("delaunay_mesh expects (n, 2) points")
+    if points.shape[0] < 3:
+        raise GraphError("delaunay_mesh needs at least 3 points")
+    tri = Delaunay(points)
+    g = CSRGraph.from_edges(points.shape[0], _simplices_to_edges(tri.simplices))
+    return GeneratedGraph(g, points, name)
+
+
+def random_delaunay(n: int, seed: SeedLike = None, name: str = "") -> GeneratedGraph:
+    """Delaunay triangulation of ``n`` uniform points in the unit square.
+
+    Analogue of the ``delaunay_nXX`` UFL graphs (which are Delaunay
+    triangulations of 2^XX random points).
+    """
+    rng = as_generator(seed)
+    pts = rng.random((n, 2))
+    return delaunay_mesh(pts, name or f"delaunay{n}")
+
+
+def perforated_delaunay(
+    n: int,
+    holes: int = 12,
+    hole_radius: float = 0.06,
+    seed: SeedLike = None,
+    name: str = "",
+) -> GeneratedGraph:
+    """Delaunay mesh of the unit square with circular holes punched out.
+
+    Analogue of ``hugebubbles-00020`` (adaptive meshes of 2-D domains
+    containing bubbles).  Points inside the holes are removed and
+    triangles whose centroid falls inside a hole are dropped, leaving a
+    multiply-connected mesh.
+    """
+    from scipy.spatial import Delaunay
+
+    rng = as_generator(seed)
+    pts = rng.random((int(n * 1.6), 2))
+    centres = rng.random((holes, 2)) * 0.8 + 0.1
+    d = np.linalg.norm(pts[:, None, :] - centres[None, :, :], axis=2)
+    pts = pts[(d > hole_radius).all(axis=1)][:n]
+    if pts.shape[0] < 3:
+        raise GraphError("perforated mesh lost too many points")
+    tri = Delaunay(pts)
+    cent = pts[tri.simplices].mean(axis=1)
+    dc = np.linalg.norm(cent[:, None, :] - centres[None, :, :], axis=2)
+    keep = (dc > hole_radius).all(axis=1)
+    g = CSRGraph.from_edges(pts.shape[0], _simplices_to_edges(tri.simplices[keep]))
+    graph, ids = g.largest_component()
+    return GeneratedGraph(graph, pts[ids], name or f"bubbles{n}")
+
+
+def annulus_delaunay(
+    n: int,
+    inner: float = 0.25,
+    aspect: float = 6.0,
+    seed: SeedLike = None,
+    name: str = "",
+) -> GeneratedGraph:
+    """Delaunay mesh of a long thin annular band.
+
+    Analogue of ``hugetrace-00000`` (meshes of long traced 2-D regions):
+    an elongated annulus produces the long, thin, hole-containing domain
+    whose small separators the trace meshes exhibit.
+    """
+    from scipy.spatial import Delaunay
+
+    rng = as_generator(seed)
+    t = rng.random(int(n * 1.2)) * 2 * np.pi
+    r = inner + (1 - inner) * rng.random(int(n * 1.2))
+    pts = np.column_stack([aspect * r * np.cos(t), r * np.sin(t)])[:n]
+    tri = Delaunay(pts)
+    cent = pts[tri.simplices].mean(axis=1)
+    rc = np.hypot(cent[:, 0] / aspect, cent[:, 1])
+    g = CSRGraph.from_edges(pts.shape[0], _simplices_to_edges(tri.simplices[rc > inner]))
+    graph, ids = g.largest_component()
+    return GeneratedGraph(graph, pts[ids], name or f"trace{n}")
+
+
+# ----------------------------------------------------------------------
+# irregular graphs
+# ----------------------------------------------------------------------
+
+def circuit_grid(
+    nx: int,
+    ny: int,
+    shorts_fraction: float = 0.02,
+    seed: SeedLike = None,
+    name: str = "",
+) -> GeneratedGraph:
+    """Grid with a sprinkling of random long-range 'via' edges.
+
+    Analogue of ``G3_circuit`` (circuit simulation): predominantly
+    grid-structured with a small number of irregular connections that
+    spoil pure geometric cuts.
+    """
+    rng = as_generator(seed)
+    base = grid2d(nx, ny)
+    n = base.graph.num_vertices
+    k = int(shorts_fraction * n)
+    extra = rng.integers(0, n, size=(k, 2))
+    edges, w = base.graph.edge_list()
+    all_edges = np.vstack([edges, extra])
+    g = CSRGraph.from_edges(n, all_edges)
+    return GeneratedGraph(g, base.coords, name or f"circuit{nx}x{ny}")
+
+
+def kkt_power_like(
+    grid_side: int,
+    constraints_fraction: float = 0.5,
+    couplings: int = 4,
+    hub_fraction: float = 0.002,
+    hub_degree: int = 60,
+    seed: SeedLike = None,
+    name: str = "",
+) -> GeneratedGraph:
+    """KKT-structured graph modelled on ``kkt_power``.
+
+    ``kkt_power`` is the graph of a KKT system from optimal power flow:
+    a network block (grid-like power network), a constraint block whose
+    vertices couple to a handful of network vertices, and a heavy tail of
+    high-degree vertices.  The resulting graph is decidedly non-planar
+    with large separators — the case where geometric methods struggle
+    (Table 2 shows G7/RCB ~45–51% worse than G30 on this graph).
+    """
+    rng = as_generator(seed)
+    net = grid2d(grid_side, grid_side, diagonals=True)
+    n_net = net.graph.num_vertices
+    n_con = int(constraints_fraction * n_net)
+    n_hub = max(1, int(hub_fraction * (n_net + n_con)))
+    n = n_net + n_con + n_hub
+    edges = [net.graph.edge_list()[0]]
+    # constraint vertices couple to `couplings` random network vertices
+    con_ids = n_net + np.arange(n_con)
+    targets = rng.integers(0, n_net, size=(n_con, couplings))
+    edges.append(
+        np.column_stack([np.repeat(con_ids, couplings), targets.ravel()])
+    )
+    # hubs connect widely across both blocks (heavy-tailed degrees)
+    hub_ids = n_net + n_con + np.arange(n_hub)
+    hub_targets = rng.integers(0, n_net + n_con, size=(n_hub, hub_degree))
+    edges.append(
+        np.column_stack([np.repeat(hub_ids, hub_degree), hub_targets.ravel()])
+    )
+    g = CSRGraph.from_edges(n, np.vstack(edges))
+    graph, _ = g.largest_component()
+    return GeneratedGraph(graph, None, name or f"kkt{grid_side}")
+
+
+def random_geometric(
+    n: int, radius: Optional[float] = None, seed: SeedLike = None
+) -> GeneratedGraph:
+    """Random geometric graph in the unit square (KD-tree construction)."""
+    from scipy.spatial import cKDTree
+
+    rng = as_generator(seed)
+    pts = rng.random((n, 2))
+    if radius is None:
+        radius = 1.8 / np.sqrt(max(n, 1))  # ~ constant expected degree
+    tree = cKDTree(pts)
+    pairs = tree.query_pairs(radius, output_type="ndarray")
+    g = CSRGraph.from_edges(n, pairs.astype(np.int64))
+    return GeneratedGraph(g, pts, f"geo{n}")
+
+
+def random_regular(n: int, d: int, seed: SeedLike = None) -> GeneratedGraph:
+    """Random ``d``-regular-ish multigraph via the configuration model
+    (self loops and duplicate edges dropped, so degrees are ≤ d)."""
+    if (n * d) % 2 != 0:
+        raise GraphError("n*d must be even")
+    rng = as_generator(seed)
+    stubs = np.repeat(np.arange(n), d)
+    rng.shuffle(stubs)
+    edges = stubs.reshape(-1, 2)
+    g = CSRGraph.from_edges(n, edges)
+    return GeneratedGraph(g, None, f"reg{n}x{d}")
+
+
+def preferential_attachment(n: int, m: int = 3, seed: SeedLike = None) -> GeneratedGraph:
+    """Barabási–Albert preferential attachment (power-law degrees)."""
+    if n <= m:
+        raise GraphError("need n > m")
+    rng = as_generator(seed)
+    targets = list(range(m))
+    repeated: list = list(range(m))
+    edges = []
+    for v in range(m, n):
+        chosen = rng.choice(len(repeated), size=m, replace=False)
+        tgt = {repeated[int(c)] for c in chosen}
+        for t in tgt:
+            edges.append((v, t))
+            repeated.append(t)
+        repeated.extend([v] * len(tgt))
+    g = CSRGraph.from_edges(n, np.array(edges, dtype=np.int64))
+    return GeneratedGraph(g, None, f"ba{n}x{m}")

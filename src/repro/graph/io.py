@@ -1,0 +1,198 @@
+"""Graph file I/O: METIS/Chaco graph format, edge lists, coordinates.
+
+The METIS ``.graph`` format is the lingua franca of the partitioning
+community (ParMetis, Scotch and Zoltan all read it), so the reproduction
+reads and writes it: downstream users can partition their own graphs
+with the examples in ``examples/``.
+
+Format recap (see the METIS 5 manual):
+
+* first non-comment line: ``n m [fmt [ncon]]`` where ``m`` counts
+  *undirected* edges; ``fmt`` is a 3-digit flag string ``[vwgts?][vsize?]
+  [ewgts?]`` — we support ``0``/``1``/``10``/``11``/``100``/``101``...
+  restricted to vertex and edge weights (no vsize, ncon = 1),
+* line ``i`` (1-based): optional vertex weight, then pairs/ids of
+  neighbours (1-based), each followed by its weight when ``fmt`` ends
+  in 1.
+* lines starting with ``%`` are comments.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Optional, TextIO, Union
+
+import numpy as np
+
+from ..errors import GraphError
+from .csr import CSRGraph
+
+__all__ = [
+    "read_metis",
+    "write_metis",
+    "read_edgelist",
+    "write_edgelist",
+    "read_coords",
+    "write_coords",
+]
+
+PathLike = Union[str, Path]
+
+
+def _open(path_or_file, mode: str):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+def read_metis(path_or_file: Union[PathLike, TextIO]) -> CSRGraph:
+    """Read a graph in METIS format."""
+    fh, owned = _open(path_or_file, "r")
+    try:
+        lines = [ln.strip() for ln in fh if ln.strip() and not ln.lstrip().startswith("%")]
+    finally:
+        if owned:
+            fh.close()
+    if not lines:
+        raise GraphError("empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise GraphError(f"bad METIS header: {lines[0]!r}")
+    n, m = int(header[0]), int(header[1])
+    fmt = header[2] if len(header) > 2 else "0"
+    has_ewgt = fmt.endswith("1")
+    has_vwgt = len(fmt) >= 2 and fmt[-2] == "1"
+    if len(fmt) >= 3 and fmt[-3] == "1":
+        raise GraphError("vertex sizes (fmt=1xx) are not supported")
+    if len(header) > 3 and int(header[3]) != 1:
+        raise GraphError("only ncon=1 is supported")
+    if len(lines) - 1 != n:
+        raise GraphError(f"expected {n} vertex lines, found {len(lines) - 1}")
+    vwgt = np.ones(n, dtype=np.float64)
+    srcs, dsts, wgts = [], [], []
+    for v, line in enumerate(lines[1:]):
+        tok = line.split()
+        pos = 0
+        if has_vwgt:
+            if not tok:
+                raise GraphError(f"missing vertex weight on line {v + 2}")
+            vwgt[v] = float(tok[0])
+            pos = 1
+        rest = tok[pos:]
+        if has_ewgt:
+            if len(rest) % 2:
+                raise GraphError(f"odd token count with edge weights on line {v + 2}")
+            nbrs = rest[0::2]
+            ws = rest[1::2]
+        else:
+            nbrs = rest
+            ws = ["1"] * len(rest)
+        for u, w in zip(nbrs, ws):
+            srcs.append(v)
+            dsts.append(int(u) - 1)
+            wgts.append(float(w))
+    if srcs:
+        edges = np.column_stack(
+            [np.asarray(srcs, dtype=np.int64), np.asarray(dsts, dtype=np.int64)]
+        )
+        keep = edges[:, 0] < edges[:, 1]
+        g = CSRGraph.from_edges(
+            n, edges[keep], np.asarray(wgts)[keep], vwgt, dedupe=True
+        )
+    else:
+        g = CSRGraph(np.zeros(n + 1, dtype=np.int64), np.zeros(0, dtype=np.int64), vwgt=vwgt)
+    if g.num_edges != m:
+        raise GraphError(f"METIS header declares {m} edges, file has {g.num_edges}")
+    return g
+
+
+def write_metis(
+    graph: CSRGraph,
+    path_or_file: Union[PathLike, TextIO],
+    *,
+    vertex_weights: bool = False,
+    edge_weights: bool = False,
+) -> None:
+    """Write a graph in METIS format.
+
+    Weights are written as integers (METIS requires it); float weights
+    are rounded and must be >= 1 after rounding.
+    """
+    fh, owned = _open(path_or_file, "w")
+    try:
+        fmt = f"{int(vertex_weights)}{int(edge_weights)}"
+        header = f"{graph.num_vertices} {graph.num_edges}"
+        if fmt != "00":
+            header += f" {fmt.lstrip('0') or '0'}" if fmt != "10" else " 10"
+        fh.write(header + "\n")
+        for v in range(graph.num_vertices):
+            parts = []
+            if vertex_weights:
+                parts.append(str(max(1, int(round(graph.vwgt[v])))))
+            nbrs = graph.neighbors(v)
+            ws = graph.edge_weights_of(v)
+            for u, w in zip(nbrs, ws):
+                parts.append(str(int(u) + 1))
+                if edge_weights:
+                    parts.append(str(max(1, int(round(w)))))
+            fh.write(" ".join(parts) + "\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+def read_edgelist(path_or_file: Union[PathLike, TextIO], n: Optional[int] = None) -> CSRGraph:
+    """Read a whitespace edge list ``u v [w]`` (0-based ids, ``#`` comments)."""
+    fh, owned = _open(path_or_file, "r")
+    try:
+        rows = []
+        for ln in fh:
+            ln = ln.split("#", 1)[0].strip()
+            if ln:
+                rows.append(ln.split())
+    finally:
+        if owned:
+            fh.close()
+    if not rows:
+        return CSRGraph.empty(n or 0)
+    us = np.array([int(r[0]) for r in rows], dtype=np.int64)
+    vs = np.array([int(r[1]) for r in rows], dtype=np.int64)
+    ws = np.array([float(r[2]) if len(r) > 2 else 1.0 for r in rows])
+    nn = n if n is not None else int(max(us.max(), vs.max())) + 1
+    return CSRGraph.from_edges(nn, np.column_stack([us, vs]), ws)
+
+
+def write_edgelist(graph: CSRGraph, path_or_file: Union[PathLike, TextIO]) -> None:
+    """Write the undirected edge list ``u v w`` (0-based)."""
+    fh, owned = _open(path_or_file, "w")
+    try:
+        edges, w = graph.edge_list()
+        for i in range(edges.shape[0]):
+            fh.write(f"{edges[i, 0]} {edges[i, 1]} {w[i]:g}\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+def read_coords(path_or_file: Union[PathLike, TextIO]) -> np.ndarray:
+    """Read per-vertex coordinates, one ``x y [z]`` line per vertex."""
+    fh, owned = _open(path_or_file, "r")
+    try:
+        rows = [ln.split() for ln in fh if ln.strip() and not ln.startswith("#")]
+    finally:
+        if owned:
+            fh.close()
+    if not rows:
+        return np.zeros((0, 2))
+    return np.array([[float(x) for x in r] for r in rows], dtype=np.float64)
+
+
+def write_coords(coords: np.ndarray, path_or_file: Union[PathLike, TextIO]) -> None:
+    fh, owned = _open(path_or_file, "w")
+    try:
+        for row in np.asarray(coords, dtype=np.float64):
+            fh.write(" ".join(f"{x:.10g}" for x in row) + "\n")
+    finally:
+        if owned:
+            fh.close()

@@ -1,0 +1,175 @@
+"""Bisection data structure and partition-quality measures.
+
+The paper partitions a graph into two parts ``V1``/``V2`` of nearly equal
+size and measures the *edge separator* size ``|S|`` (the cut).  This
+module provides :class:`Bisection` — an immutable labelling of vertices
+into sides 0 and 1 — and all quality metrics used in the evaluation:
+cut size, weighted cut, balance / imbalance, boundary vertices, and
+separator-edge extraction (used by the strip-refinement stage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import PartitionError
+from .csr import CSRGraph
+
+__all__ = ["Bisection", "cut_size", "cut_weight", "imbalance"]
+
+
+def _sides_array(side, n: int) -> np.ndarray:
+    side = np.asarray(side)
+    if side.shape != (n,):
+        raise PartitionError(f"side labels must have shape ({n},), got {side.shape}")
+    if side.dtype == bool:
+        side = side.astype(np.int8)
+    side = side.astype(np.int8, copy=True)
+    if side.size and not np.isin(side, (0, 1)).all():
+        raise PartitionError("side labels must be 0 or 1")
+    side.setflags(write=False)
+    return side
+
+
+@dataclass(frozen=True)
+class Bisection:
+    """Two-way partition of the vertices of a :class:`CSRGraph`.
+
+    ``side[v]`` is 0 or 1.  Instances are immutable; refinement
+    algorithms produce new instances via :meth:`with_side`.
+    """
+
+    graph: CSRGraph
+    side: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "side", _sides_array(self.side, self.graph.num_vertices)
+        )
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_part0(cls, graph: CSRGraph, part0: np.ndarray) -> "Bisection":
+        """Build from the set of vertex ids on side 0."""
+        side = np.ones(graph.num_vertices, dtype=np.int8)
+        side[np.asarray(part0, dtype=np.int64)] = 0
+        return cls(graph, side)
+
+    @classmethod
+    def trivial(cls, graph: CSRGraph) -> "Bisection":
+        """Everything on side 0 (useful as a neutral starting point)."""
+        return cls(graph, np.zeros(graph.num_vertices, dtype=np.int8))
+
+    def with_side(self, side: np.ndarray) -> "Bisection":
+        return Bisection(self.graph, side)
+
+    def flipped(self) -> "Bisection":
+        """Swap the two sides (cut and balance are invariant)."""
+        return Bisection(self.graph, 1 - self.side)
+
+    # -- metrics ----------------------------------------------------------
+    @property
+    def part_sizes(self) -> Tuple[int, int]:
+        n1 = int(self.side.sum())
+        return self.graph.num_vertices - n1, n1
+
+    @property
+    def part_weights(self) -> Tuple[float, float]:
+        w1 = float(self.graph.vwgt[self.side == 1].sum())
+        return self.graph.total_vertex_weight - w1, w1
+
+    @property
+    def cut_size(self) -> int:
+        """Number of edges crossing the partition (the paper's ``|S|``)."""
+        return cut_size(self.graph, self.side)
+
+    @property
+    def cut_weight(self) -> float:
+        return cut_weight(self.graph, self.side)
+
+    @property
+    def imbalance(self) -> float:
+        """``max(w0, w1) / (w_total / 2) - 1``; 0 means perfectly balanced."""
+        return imbalance(self.graph, self.side)
+
+    def separator_edges(self) -> np.ndarray:
+        """``(k, 2)`` array of cut edges with ``u`` on side 0, ``v`` on 1."""
+        edges, _ = self.graph.edge_list()
+        if edges.shape[0] == 0:
+            return np.zeros((0, 2), dtype=np.int64)
+        s = self.side
+        crossing = s[edges[:, 0]] != s[edges[:, 1]]
+        sub = edges[crossing]
+        swap = s[sub[:, 0]] == 1
+        sub[swap] = sub[swap][:, ::-1]
+        return sub
+
+    def boundary_vertices(self) -> np.ndarray:
+        """Vertices incident to at least one cut edge."""
+        sep = self.separator_edges()
+        return np.unique(sep.ravel())
+
+    def external_degrees(self) -> np.ndarray:
+        """Per-vertex weight of edges to the *other* side (FM's ED)."""
+        g = self.graph
+        src = g.edge_sources()
+        other = self.side[src] != self.side[g.indices]
+        return np.bincount(
+            src[other], weights=g.ewgt[other], minlength=g.num_vertices
+        )
+
+    def internal_degrees(self) -> np.ndarray:
+        """Per-vertex weight of edges to the *same* side (FM's ID)."""
+        g = self.graph
+        src = g.edge_sources()
+        same = self.side[src] == self.side[g.indices]
+        return np.bincount(src[same], weights=g.ewgt[same], minlength=g.num_vertices)
+
+    def validate(self, max_imbalance: Optional[float] = None) -> None:
+        """Raise :class:`PartitionError` if the bisection is malformed or
+        (when ``max_imbalance`` is given) too unbalanced."""
+        _sides_array(self.side, self.graph.num_vertices)
+        if self.graph.num_vertices >= 2:
+            if (self.side == 0).sum() == 0 or (self.side == 1).sum() == 0:
+                raise PartitionError("bisection has an empty side")
+        if max_imbalance is not None and self.imbalance > max_imbalance:
+            raise PartitionError(
+                f"imbalance {self.imbalance:.4f} exceeds allowed {max_imbalance:.4f}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n0, n1 = self.part_sizes
+        return f"Bisection(n0={n0}, n1={n1}, cut={self.cut_size})"
+
+
+# ----------------------------------------------------------------------
+# free functions (usable without building a Bisection)
+# ----------------------------------------------------------------------
+
+def cut_size(graph: CSRGraph, side: np.ndarray) -> int:
+    """Number of undirected edges with endpoints on different sides."""
+    side = np.asarray(side)
+    src = graph.edge_sources()
+    crossing = side[src] != side[graph.indices]
+    return int(crossing.sum()) // 2
+
+
+def cut_weight(graph: CSRGraph, side: np.ndarray) -> float:
+    """Total weight of cut edges."""
+    side = np.asarray(side)
+    src = graph.edge_sources()
+    crossing = side[src] != side[graph.indices]
+    return float(graph.ewgt[crossing].sum()) / 2.0
+
+
+def imbalance(graph: CSRGraph, side: np.ndarray) -> float:
+    """``max(w0, w1) / (w_total/2) - 1`` (0 = perfect balance)."""
+    side = np.asarray(side)
+    total = graph.total_vertex_weight
+    if total == 0:
+        return 0.0
+    w1 = float(graph.vwgt[side == 1].sum())
+    return max(total - w1, w1) / (total / 2.0) - 1.0

@@ -1,0 +1,19 @@
+"""SPMD virtual machine: coroutine ranks, MPI-like API, Hockney costs."""
+
+from .engine import Comm, payload_words, run_spmd
+from .machine import MachineModel, QDR_CLUSTER, ZERO_COST
+from .topology import ProcessGrid, grid_dims
+from .trace import PhaseBreakdown, SpmdResult
+
+__all__ = [
+    "Comm",
+    "payload_words",
+    "run_spmd",
+    "MachineModel",
+    "QDR_CLUSTER",
+    "ZERO_COST",
+    "ProcessGrid",
+    "grid_dims",
+    "PhaseBreakdown",
+    "SpmdResult",
+]

@@ -1,0 +1,680 @@
+"""SPMD coroutine engine: virtual ranks, MPI-like communicators, clocks.
+
+This is the substrate that stands in for the paper's MPI cluster.  A
+*rank program* is a generator function
+
+.. code-block:: python
+
+    def program(comm, graph):
+        local = graph_slice(graph, comm.rank, comm.size)
+        comm.charge(local.num_edges)              # local computation
+        total = yield from comm.allreduce(local.num_edges)
+        return total
+
+executed simultaneously (in simulation) on ``P`` virtual ranks by
+:func:`run_spmd`.  Communication methods are generator methods and must
+be invoked as ``result = yield from comm.op(...)``; purely local
+operations (:meth:`Comm.charge`, :meth:`Comm.set_phase`) are plain
+calls.  The engine advances each rank until it blocks on communication,
+matches communication requests across ranks, charges Hockney-model
+costs to per-rank simulated clocks, and resumes ranks with the results.
+
+Why coroutines and not threads: the evaluation sweeps P up to 1,024
+virtual ranks; generator-based ranks cost ~micro-seconds to suspend and
+resume, are deterministic (ranks are always stepped in rank order), and
+cannot data-race.  The *data path is real* — collectives really move
+the Python/NumPy payloads between rank programs — so distributed
+algorithms compute real results while the clocks estimate what the
+communication would cost on the modelled cluster.
+
+Semantics notes
+---------------
+* ``send`` is buffered/eager (like MPI_Send under the eager protocol):
+  it never blocks the sender.  ``recv`` blocks until a matching message
+  (same source, tag and communicator) has been posted.  Messages between
+  a (src, dst, tag) pair are delivered FIFO.
+* A collective completes when *every* rank of its communicator has
+  posted the *same* collective; posting mismatched collectives raises
+  :class:`~repro.errors.CommError`, and a state where no rank can
+  advance raises :class:`~repro.errors.DeadlockError` naming the parked
+  operations — both invaluable when debugging distributed algorithms.
+* Payloads are defensively copied on delivery (NumPy arrays and nested
+  containers), so mutating received data never aliases the sender's
+  memory — matching real message-passing semantics.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CommError, DeadlockError
+from ..rng import SeedLike, spawn_streams
+from .machine import MachineModel, QDR_CLUSTER
+from .trace import DEFAULT_PHASE, PhaseBreakdown, SpmdResult
+
+__all__ = ["Comm", "run_spmd", "payload_words"]
+
+
+# ----------------------------------------------------------------------
+# payload utilities
+# ----------------------------------------------------------------------
+
+def payload_words(obj: Any) -> float:
+    """Estimate the size of a payload in 8-byte words.
+
+    Used by the cost model when the caller does not pass ``words=``.
+    NumPy arrays are exact; containers are summed recursively; scalars
+    count as one word.
+    """
+    if obj is None:
+        return 0.0
+    if isinstance(obj, np.ndarray):
+        return max(1.0, obj.nbytes / 8.0)
+    if isinstance(obj, (int, float, complex, bool, np.generic)):
+        return 1.0
+    if isinstance(obj, (bytes, str)):
+        return max(1.0, len(obj) / 8.0)
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 1.0 + sum(payload_words(x) for x in obj)
+    if isinstance(obj, dict):
+        return 1.0 + sum(payload_words(k) + payload_words(v) for k, v in obj.items())
+    d = getattr(obj, "__dict__", None)
+    if d is not None:
+        return 1.0 + payload_words(d)
+    return 4.0
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Defensive copy of a message payload (arrays and containers)."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, list):
+        return [_copy_payload(x) for x in obj]
+    if isinstance(obj, tuple):
+        return tuple(_copy_payload(x) for x in obj)
+    if isinstance(obj, dict):
+        return {k: _copy_payload(v) for k, v in obj.items()}
+    return obj
+
+
+_REDUCERS: Dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else min(a, b),
+    "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else max(a, b),
+}
+
+
+def _reduce_values(values: Sequence[Any], op) -> Any:
+    if callable(op):
+        fn = op
+    else:
+        try:
+            fn = _REDUCERS[op]
+        except KeyError:
+            raise CommError(f"unknown reduction op {op!r}") from None
+    acc = _copy_payload(values[0])
+    for v in values[1:]:
+        acc = fn(acc, v)
+    return acc
+
+
+# ----------------------------------------------------------------------
+# requests
+# ----------------------------------------------------------------------
+
+_COLLECTIVES = {
+    "barrier", "bcast", "reduce", "allreduce", "gather", "allgather",
+    "scatter", "alltoall", "scan", "split", "exchange",
+}
+
+
+@dataclass
+class _Op:
+    """A communication request yielded by a rank program."""
+
+    kind: str
+    cid: int
+    value: Any = None
+    root: int = 0
+    op: Any = "sum"
+    tag: int = 0
+    source: int = -1
+    dest: int = -1
+    color: Any = None
+    key: int = 0
+    words: Optional[float] = None
+
+
+@dataclass
+class _Group:
+    """A communicator: an ordered list of participating global ranks."""
+
+    cid: int
+    members: Tuple[int, ...]  # global rank ids, position = local rank
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def local(self, grank: int) -> int:
+        return self.members.index(grank)
+
+
+class Comm:
+    """Per-rank handle to a communicator of the virtual machine.
+
+    Mirrors the mpi4py surface (lower-case object API): ``rank``,
+    ``size``, collectives, ``send``/``recv``, ``split``.  Every
+    communication method is a generator and must be driven with
+    ``yield from``.
+    """
+
+    def __init__(self, engine: "_Engine", group: _Group, grank: int) -> None:
+        self._engine = engine
+        self._group = group
+        self._grank = grank
+
+    # -- local, non-yielding ----------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This rank's index within the communicator."""
+        return self._group.members.index(self._grank)
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self._group.size
+
+    @property
+    def world_rank(self) -> int:
+        """Global rank id in the world communicator."""
+        return self._grank
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """Rank-private deterministic random stream."""
+        return self._engine.rngs[self._grank]
+
+    @property
+    def machine(self) -> MachineModel:
+        return self._engine.machine
+
+    def charge(self, work: float) -> None:
+        """Charge ``work`` units of local computation to this rank's clock."""
+        self._engine.charge(self._grank, work)
+
+    def charge_comm_seconds(self, seconds: float) -> None:
+        """Book modelled communication time directly on this rank's clock.
+
+        For phases whose functional execution is folded (computed once
+        and shared) but whose real communication schedule is known
+        analytically — e.g. the coarsest-graph embedding's per-iteration
+        exchanges.  Use sparingly; prefer real collectives.
+        """
+        if seconds < 0:
+            raise CommError("cannot charge negative communication time")
+        self._engine.charge_comm(self._grank, seconds)
+
+    def set_phase(self, name: str) -> None:
+        """Attribute subsequent time to phase ``name`` (see Figures 7–8)."""
+        self._engine.set_phase(self._grank, name)
+
+    @property
+    def clock(self) -> float:
+        """Current simulated time on this rank (seconds)."""
+        return float(self._engine.clocks[self._grank])
+
+    # -- point to point ----------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0, words: Optional[float] = None):
+        """Buffered send to local rank ``dest`` (never blocks)."""
+        yield _Op("send", self._group.cid, value=obj, dest=dest, tag=tag, words=words)
+
+    def recv(self, source: int, tag: int = 0):
+        """Blocking receive from local rank ``source``."""
+        result = yield _Op("recv", self._group.cid, source=source, tag=tag)
+        return result
+
+    def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0,
+                 words: Optional[float] = None):
+        """Exchange: send ``obj`` to ``dest`` and receive from ``source``."""
+        yield _Op("send", self._group.cid, value=obj, dest=dest, tag=tag, words=words)
+        result = yield _Op("recv", self._group.cid, source=source, tag=tag)
+        return result
+
+    # -- collectives ---------------------------------------------------------
+    def barrier(self):
+        yield _Op("barrier", self._group.cid)
+
+    def bcast(self, obj: Any, root: int = 0, words: Optional[float] = None):
+        result = yield _Op("bcast", self._group.cid, value=obj, root=root, words=words)
+        return result
+
+    def reduce(self, value: Any, op="sum", root: int = 0, words: Optional[float] = None):
+        result = yield _Op("reduce", self._group.cid, value=value, op=op, root=root, words=words)
+        return result
+
+    def allreduce(self, value: Any, op="sum", words: Optional[float] = None):
+        result = yield _Op("allreduce", self._group.cid, value=value, op=op, words=words)
+        return result
+
+    def gather(self, value: Any, root: int = 0, words: Optional[float] = None):
+        result = yield _Op("gather", self._group.cid, value=value, root=root, words=words)
+        return result
+
+    def allgather(self, value: Any, words: Optional[float] = None):
+        result = yield _Op("allgather", self._group.cid, value=value, words=words)
+        return result
+
+    def scatter(self, values: Optional[Sequence[Any]], root: int = 0,
+                words: Optional[float] = None):
+        result = yield _Op("scatter", self._group.cid, value=values, root=root, words=words)
+        return result
+
+    def alltoall(self, values: Sequence[Any], words: Optional[float] = None):
+        result = yield _Op("alltoall", self._group.cid, value=values, words=words)
+        return result
+
+    def scan(self, value: Any, op="sum", words: Optional[float] = None):
+        """Inclusive prefix reduction."""
+        result = yield _Op("scan", self._group.cid, value=value, op=op, words=words)
+        return result
+
+    def exchange(self, messages: Dict[int, Any], words: Optional[float] = None):
+        """Halo exchange: send ``messages[nbr]`` to each neighbour (local
+        rank), receive ``{nbr: payload}`` from every rank that targeted
+        this one.  All ranks of the communicator must participate (ranks
+        with nothing to send pass ``{}``); posted as one synchronising
+        step — the idiom for the per-iteration boundary exchanges of the
+        lattice embedding."""
+        result = yield _Op("exchange", self._group.cid, value=messages, words=words)
+        return result
+
+    def split(self, color: Any, key: int = 0):
+        """Partition the communicator by ``color`` (``None`` = leave).
+
+        Returns a new :class:`Comm` whose ranks are ordered by
+        ``(key, old rank)``, or ``None`` for ranks with ``color=None``.
+        """
+        result = yield _Op("split", self._group.cid, color=color, key=key)
+        return result
+
+
+# ----------------------------------------------------------------------
+# engine
+# ----------------------------------------------------------------------
+
+_READY, _PARKED, _DONE = 0, 1, 2
+
+
+class _RankState:
+    __slots__ = ("grank", "gen", "status", "op", "result", "send_value")
+
+    def __init__(self, grank: int, gen) -> None:
+        self.grank = grank
+        self.gen = gen
+        self.status = _READY
+        self.op: Optional[_Op] = None
+        self.result: Any = None
+        self.send_value: Any = None
+
+
+class _Engine:
+    def __init__(self, nranks: int, machine: MachineModel, seed: SeedLike) -> None:
+        self.machine = machine
+        self.nranks = nranks
+        self.clocks = np.zeros(nranks)
+        self.comp_time = np.zeros(nranks)
+        self.comm_time = np.zeros(nranks)
+        self.phase = [DEFAULT_PHASE] * nranks
+        self.phase_acc: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        self.rngs = spawn_streams(seed, nranks)
+        self.mailbox: Dict[Tuple[int, int, int, int], deque] = {}
+        self.groups: Dict[int, _Group] = {}
+        self._next_cid = 0
+        self.messages = 0
+        self.collectives = 0
+        self.words_sent = 0.0
+
+    # -- accounting ----------------------------------------------------------
+    def _phase_arrays(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
+        if name not in self.phase_acc:
+            self.phase_acc[name] = (np.zeros(self.nranks), np.zeros(self.nranks))
+        return self.phase_acc[name]
+
+    def charge(self, grank: int, work: float) -> None:
+        dt = self.machine.compute_cost(work)
+        self.clocks[grank] += dt
+        self.comp_time[grank] += dt
+        self._phase_arrays(self.phase[grank])[0][grank] += dt
+
+    def charge_comm(self, grank: int, dt: float) -> None:
+        self.clocks[grank] += dt
+        self.comm_time[grank] += dt
+        self._phase_arrays(self.phase[grank])[1][grank] += dt
+
+    def advance_to(self, grank: int, t: float) -> None:
+        """Move a rank's clock forward to ``t``, booking the gap as comm."""
+        if t > self.clocks[grank]:
+            self.charge_comm(grank, t - float(self.clocks[grank]))
+
+    def set_phase(self, grank: int, name: str) -> None:
+        self.phase[grank] = name
+
+    def new_group(self, members: Sequence[int]) -> _Group:
+        g = _Group(self._next_cid, tuple(members))
+        self.groups[g.cid] = g
+        self._next_cid += 1
+        return g
+
+
+def _is_generator_function(fn) -> bool:
+    return inspect.isgeneratorfunction(fn)
+
+
+def run_spmd(
+    fn: Callable,
+    nranks: int,
+    *args: Any,
+    machine: MachineModel = QDR_CLUSTER,
+    seed: SeedLike = None,
+    **kwargs: Any,
+) -> SpmdResult:
+    """Execute rank program ``fn`` on ``nranks`` virtual ranks.
+
+    ``fn(comm, *args, **kwargs)`` must be a generator function (or a
+    plain function if it performs no communication).  Returns a
+    :class:`~repro.parallel.trace.SpmdResult` with per-rank return
+    values and the simulated timing accounts.
+    """
+    if nranks < 1:
+        raise CommError(f"nranks must be >= 1, got {nranks}")
+    eng = _Engine(nranks, machine, seed)
+    world = eng.new_group(range(nranks))
+    states: List[_RankState] = []
+    for r in range(nranks):
+        comm = Comm(eng, world, r)
+        out = fn(comm, *args, **kwargs)
+        st = _RankState(r, out if inspect.isgenerator(out) else None)
+        if st.gen is None:
+            st.status = _DONE
+            st.result = out
+        states.append(st)
+
+    ready = deque(st for st in states if st.status == _READY)
+    while True:
+        # 1. advance every runnable rank to its next blocking point
+        while ready:
+            st = ready.popleft()
+            _step(eng, states, st)
+        # 2. match parked requests
+        progress = _complete_recvs(eng, states, ready)
+        progress |= _complete_collectives(eng, states, ready)
+        if ready:
+            continue
+        if all(st.status == _DONE for st in states):
+            break
+        if not progress:
+            _raise_deadlock(states)
+
+    phases = {
+        name: PhaseBreakdown(comp, comm)
+        for name, (comp, comm) in eng.phase_acc.items()
+    }
+    return SpmdResult(
+        values=[st.result for st in states],
+        clocks=eng.clocks,
+        comp_time=eng.comp_time,
+        comm_time=eng.comm_time,
+        phases=phases,
+        messages=eng.messages,
+        collectives=eng.collectives,
+        words_sent=eng.words_sent,
+    )
+
+
+def _step(eng: _Engine, states: List[_RankState], st: _RankState) -> None:
+    """Run one rank until it parks on a blocking op or finishes."""
+    value = st.send_value
+    st.send_value = None
+    while True:
+        try:
+            op = st.gen.send(value)
+        except StopIteration as stop:
+            st.status = _DONE
+            st.result = stop.value
+            return
+        if not isinstance(op, _Op):
+            raise CommError(
+                f"rank {st.grank} yielded {op!r}; rank programs must only "
+                "yield via 'yield from comm.<op>(...)'"
+            )
+        if op.kind == "send":
+            _do_send(eng, st.grank, op)
+            value = None
+            continue
+        st.op = op
+        st.status = _PARKED
+        return
+
+
+def _do_send(eng: _Engine, grank: int, op: _Op) -> None:
+    group = eng.groups[op.cid]
+    if not (0 <= op.dest < group.size):
+        raise CommError(f"send dest {op.dest} out of range for comm size {group.size}")
+    gdst = group.members[op.dest]
+    words = payload_words(op.value) if op.words is None else op.words
+    t_post = float(eng.clocks[grank])
+    # sender pays the injection overhead; transfer overlaps
+    eng.charge_comm(grank, eng.machine.t_s)
+    arrival = t_post + eng.machine.message_cost(words)
+    key = (grank, gdst, op.tag, op.cid)
+    eng.mailbox.setdefault(key, deque()).append((arrival, _copy_payload(op.value)))
+    eng.messages += 1
+    eng.words_sent += words
+
+
+def _complete_recvs(eng: _Engine, states: List[_RankState], ready: deque) -> bool:
+    progress = False
+    for st in states:
+        if st.status != _PARKED or st.op is None or st.op.kind != "recv":
+            continue
+        group = eng.groups[st.op.cid]
+        if not (0 <= st.op.source < group.size):
+            raise CommError(
+                f"recv source {st.op.source} out of range for comm size {group.size}"
+            )
+        gsrc = group.members[st.op.source]
+        key = (gsrc, st.grank, st.op.tag, st.op.cid)
+        q = eng.mailbox.get(key)
+        if not q:
+            continue
+        arrival, payload = q.popleft()
+        eng.advance_to(st.grank, arrival)
+        st.send_value = payload
+        st.op = None
+        st.status = _READY
+        ready.append(st)
+        progress = True
+    return progress
+
+
+def _complete_collectives(eng: _Engine, states: List[_RankState], ready: deque) -> bool:
+    # group parked collective ops by communicator
+    by_cid: Dict[int, List[_RankState]] = {}
+    for st in states:
+        if st.status == _PARKED and st.op is not None and st.op.kind in _COLLECTIVES:
+            by_cid.setdefault(st.op.cid, []).append(st)
+    progress = False
+    for cid, parked in by_cid.items():
+        group = eng.groups[cid]
+        if len(parked) != group.size:
+            # a member is missing: either still running (fine) or done (deadlock later)
+            continue
+        parked.sort(key=lambda s: group.members.index(s.grank))
+        kinds = {s.op.kind for s in parked}
+        if len(kinds) != 1:
+            raise CommError(
+                f"mismatched collectives on comm {cid}: "
+                + ", ".join(f"rank {group.local(s.grank)}:{s.op.kind}" for s in parked)
+            )
+        kind = kinds.pop()
+        if kind in ("bcast", "reduce", "gather", "scatter"):
+            roots = {s.op.root for s in parked}
+            if len(roots) != 1:
+                raise CommError(f"mismatched roots in {kind} on comm {cid}: {roots}")
+        _run_collective(eng, group, kind, parked)
+        for st in parked:
+            st.op = None
+            st.status = _READY
+            ready.append(st)
+        progress = True
+        eng.collectives += 1
+    return progress
+
+
+def _run_collective(eng: _Engine, group: _Group, kind: str, parked: List[_RankState]) -> None:
+    p = group.size
+    ops = [st.op for st in parked]
+    granks = [st.grank for st in parked]
+    t0 = max(float(eng.clocks[g]) for g in granks)
+
+    # ---- results + payload size ----
+    if kind == "barrier":
+        words = 0.0
+        results = [None] * p
+    elif kind == "bcast":
+        root_val = ops[ops[0].root].value
+        w0 = ops[ops[0].root].words
+        words = payload_words(root_val) if w0 is None else w0
+        results = [_copy_payload(root_val) for _ in range(p)]
+    elif kind == "reduce":
+        words = max(
+            (payload_words(o.value) if o.words is None else o.words) for o in ops
+        )
+        red = _reduce_values([o.value for o in ops], ops[0].op)
+        results = [red if i == ops[0].root else None for i in range(p)]
+    elif kind == "allreduce":
+        words = max(
+            (payload_words(o.value) if o.words is None else o.words) for o in ops
+        )
+        red = _reduce_values([o.value for o in ops], ops[0].op)
+        results = [_copy_payload(red) for _ in range(p)]
+    elif kind == "scan":
+        words = max(
+            (payload_words(o.value) if o.words is None else o.words) for o in ops
+        )
+        results = []
+        acc = None
+        for o in ops:
+            acc = _copy_payload(o.value) if acc is None else _reduce_values([acc, o.value], o.op)
+            results.append(_copy_payload(acc))
+    elif kind == "gather":
+        words = max(
+            (payload_words(o.value) if o.words is None else o.words) for o in ops
+        )
+        gathered = [_copy_payload(o.value) for o in ops]
+        results = [gathered if i == ops[0].root else None for i in range(p)]
+    elif kind == "allgather":
+        words = max(
+            (payload_words(o.value) if o.words is None else o.words) for o in ops
+        )
+        gathered = [o.value for o in ops]
+        results = [_copy_payload(gathered) for _ in range(p)]
+    elif kind == "scatter":
+        rop = ops[ops[0].root]
+        vals = rop.value
+        if vals is None or len(vals) != p:
+            raise CommError(
+                f"scatter root must supply exactly {p} values, got "
+                f"{None if vals is None else len(vals)}"
+            )
+        words = (
+            max(payload_words(v) for v in vals)
+            if rop.words is None else rop.words / p
+        )
+        results = [_copy_payload(v) for v in vals]
+    elif kind == "alltoall":
+        for o in ops:
+            if o.value is None or len(o.value) != p:
+                raise CommError(f"alltoall requires {p} values per rank")
+        words = max(
+            max(payload_words(v) for v in o.value) if o.words is None else o.words / p
+            for o in ops
+        )
+        results = [
+            [_copy_payload(ops[src].value[dst]) for src in range(p)]
+            for dst in range(p)
+        ]
+    elif kind == "exchange":
+        # per-rank payload dicts {dst_local_rank: payload}
+        inboxes: List[Dict[int, Any]] = [dict() for _ in range(p)]
+        out_words = np.zeros(p)
+        for i, o in enumerate(ops):
+            msgs = o.value or {}
+            if not isinstance(msgs, dict):
+                raise CommError("exchange expects a dict {neighbor_rank: payload}")
+            for dst, payload in msgs.items():
+                if not (0 <= dst < p):
+                    raise CommError(f"exchange neighbour {dst} out of range")
+                if dst == i:
+                    raise CommError("exchange to self is not allowed")
+                inboxes[dst][i] = _copy_payload(payload)
+            out_words[i] = (
+                o.words if o.words is not None
+                else sum(payload_words(v) for v in msgs.values())
+            )
+        in_words = np.array(
+            [sum(payload_words(v) for v in box.values()) for box in inboxes]
+        )
+        nnbrs = np.array([len(o.value or {}) for o in ops])
+        for i, st in enumerate(parked):
+            cost = eng.machine.exchange_cost(int(nnbrs[i]), float(out_words[i]),
+                                             float(in_words[i]))
+            eng.advance_to(st.grank, t0 + cost)
+            st.send_value = inboxes[group.local(st.grank)]
+        return
+    elif kind == "split":
+        by_color: Dict[Any, List[Tuple[int, int, int]]] = {}
+        for i, o in enumerate(ops):
+            if o.color is not None:
+                by_color.setdefault(o.color, []).append((o.key, i, granks[i]))
+        words = 1.0
+        new_comms: Dict[int, Comm] = {}
+        for color, lst in sorted(by_color.items(), key=lambda kv: repr(kv[0])):
+            lst.sort()
+            g = eng.new_group([grank for _, _, grank in lst])
+            for _, i, grank in lst:
+                new_comms[i] = Comm(eng, g, grank)
+        results = [new_comms.get(i) for i in range(p)]
+    else:  # pragma: no cover - guarded by _COLLECTIVES
+        raise CommError(f"unhandled collective {kind}")
+
+    cost = eng.machine.collective_cost(kind, p, words)
+    t_done = t0 + cost
+    for st in parked:
+        eng.advance_to(st.grank, t_done)
+        st.send_value = results[group.local(st.grank)]
+
+
+def _raise_deadlock(states: List[_RankState]) -> None:
+    lines = []
+    for st in states:
+        if st.status == _DONE:
+            continue
+        op = st.op
+        if op is None:
+            desc = "running"
+        elif op.kind == "recv":
+            desc = f"recv(comm={op.cid}, source={op.source}, tag={op.tag})"
+        else:
+            desc = f"{op.kind}(comm={op.cid})"
+        lines.append(f"  rank {st.grank}: waiting on {desc}")
+    raise DeadlockError(
+        "SPMD deadlock: no rank can make progress.\n" + "\n".join(lines)
+    )

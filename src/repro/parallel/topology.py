@@ -1,0 +1,95 @@
+"""Process-grid topology helpers.
+
+The fixed-lattice embedding arranges P processors in a ``√P × √P``
+grid (paper §3); the multilevel scheme maps ``G^k`` onto a ``p × q``
+grid and refines it to ``2p × 2q`` per level.  This module provides the
+rank ↔ (row, col) arithmetic, neighbour enumeration and the factoring
+of an arbitrary P into the most-square grid, all independent of the
+engine so they can be unit-tested in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["ProcessGrid", "grid_dims"]
+
+
+def grid_dims(p: int) -> Tuple[int, int]:
+    """Factor ``p`` into the most-square ``(rows, cols)`` with rows ≤ cols.
+
+    Perfect squares give √P × √P exactly as the paper assumes; other
+    counts give the nearest rectangle (e.g. 8 → 2×4, 32 → 4×8).
+    """
+    if p < 1:
+        raise ConfigError(f"process count must be >= 1, got {p}")
+    r = int(p**0.5)
+    while r > 1 and p % r != 0:
+        r -= 1
+    return r, p // r
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A ``rows × cols`` arrangement of ranks (row-major)."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigError("grid dimensions must be positive")
+
+    @classmethod
+    def square_ish(cls, p: int) -> "ProcessGrid":
+        return cls(*grid_dims(p))
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    def rank_of(self, i: int, j: int) -> int:
+        """Rank of grid position (row i, col j)."""
+        if not (0 <= i < self.rows and 0 <= j < self.cols):
+            raise ConfigError(f"grid position ({i},{j}) out of range")
+        return i * self.cols + j
+
+    def pos_of(self, rank: int) -> Tuple[int, int]:
+        if not (0 <= rank < self.size):
+            raise ConfigError(f"rank {rank} out of range for {self}")
+        return divmod(rank, self.cols)
+
+    def neighbors4(self, rank: int) -> List[int]:
+        """North/south/west/east neighbours (non-periodic)."""
+        i, j = self.pos_of(rank)
+        out = []
+        for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            ii, jj = i + di, j + dj
+            if 0 <= ii < self.rows and 0 <= jj < self.cols:
+                out.append(self.rank_of(ii, jj))
+        return out
+
+    def neighbors8(self, rank: int) -> List[int]:
+        """All ≤8 surrounding neighbours (non-periodic)."""
+        i, j = self.pos_of(rank)
+        out = []
+        for di in (-1, 0, 1):
+            for dj in (-1, 0, 1):
+                if di == 0 and dj == 0:
+                    continue
+                ii, jj = i + di, j + dj
+                if 0 <= ii < self.rows and 0 <= jj < self.cols:
+                    out.append(self.rank_of(ii, jj))
+        return out
+
+    def refine(self) -> "ProcessGrid":
+        """The ``2 rows × 2 cols`` grid of the next-finer level (paper's
+        2×2 splitting of each lattice sub-domain)."""
+        return ProcessGrid(self.rows * 2, self.cols * 2)
+
+    def parent_position(self, i: int, j: int) -> Tuple[int, int]:
+        """Position on the coarser (halved) grid that owns (i, j)."""
+        return i // 2, j // 2

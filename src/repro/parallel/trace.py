@@ -1,0 +1,123 @@
+"""Execution traces and results for the SPMD virtual machine.
+
+The paper's Figures 7–8 break ScalaPart's runtime into components
+(coarsening / embedding / partitioning) and, within embedding, into
+computation vs communication.  The engine therefore accounts every
+simulated second to a *phase* (a label the algorithm sets via
+``comm.set_phase``) and within the phase to either computation or
+communication.  :class:`SpmdResult` exposes those accounts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["PhaseBreakdown", "SpmdResult"]
+
+DEFAULT_PHASE = "main"
+
+
+@dataclass
+class PhaseBreakdown:
+    """Per-rank computation/communication seconds for one phase."""
+
+    comp: np.ndarray
+    comm: np.ndarray
+
+    @property
+    def elapsed(self) -> float:
+        """Max over ranks of (comp + comm) within this phase."""
+        total = self.comp + self.comm
+        return float(total.max()) if total.size else 0.0
+
+    @property
+    def comp_elapsed(self) -> float:
+        return float(self.comp.max()) if self.comp.size else 0.0
+
+    @property
+    def comm_elapsed(self) -> float:
+        return float(self.comm.max()) if self.comm.size else 0.0
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of this phase's elapsed time spent communicating
+        (on the critical-path rank)."""
+        e = self.elapsed
+        if e <= 0:
+            return 0.0
+        i = int(np.argmax(self.comp + self.comm))
+        return float(self.comm[i] / (self.comp[i] + self.comm[i]))
+
+
+@dataclass
+class SpmdResult:
+    """Result of one :func:`~repro.parallel.engine.run_spmd` execution.
+
+    Attributes
+    ----------
+    values:
+        per-rank return values of the rank program.
+    clocks:
+        final simulated clock of every rank (seconds).
+    comp_time / comm_time:
+        per-rank split of the clock into computation and communication.
+    phases:
+        per-phase :class:`PhaseBreakdown` (phase labels are set by the
+        algorithms via ``comm.set_phase``).
+    messages / collectives:
+        counts of point-to-point messages and collective operations.
+    words_sent:
+        total 8-byte words moved by point-to-point messages.
+    """
+
+    values: List[Any]
+    clocks: np.ndarray
+    comp_time: np.ndarray
+    comm_time: np.ndarray
+    phases: Dict[str, PhaseBreakdown]
+    messages: int = 0
+    collectives: int = 0
+    words_sent: float = 0.0
+
+    @property
+    def nranks(self) -> int:
+        return int(self.clocks.shape[0])
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated execution time: the maximum rank clock."""
+        return float(self.clocks.max()) if self.clocks.size else 0.0
+
+    @property
+    def comm_fraction(self) -> float:
+        """Communication share of the critical-path rank's time."""
+        if self.clocks.size == 0 or self.elapsed == 0:
+            return 0.0
+        i = int(np.argmax(self.clocks))
+        return float(self.comm_time[i] / self.clocks[i])
+
+    def phase(self, name: str) -> PhaseBreakdown:
+        """Breakdown for one phase (zeros if the phase never ran)."""
+        if name in self.phases:
+            return self.phases[name]
+        z = np.zeros(self.nranks)
+        return PhaseBreakdown(z, z.copy())
+
+    def phase_elapsed(self, name: str) -> float:
+        return self.phase(name).elapsed
+
+    def summary(self) -> str:
+        """One-line human-readable account of the run."""
+        parts = [
+            f"P={self.nranks}",
+            f"T={self.elapsed * 1e3:.3f}ms",
+            f"comm={100 * self.comm_fraction:.1f}%",
+            f"msgs={self.messages}",
+            f"colls={self.collectives}",
+        ]
+        for name, ph in sorted(self.phases.items()):
+            parts.append(f"{name}={ph.elapsed * 1e3:.3f}ms")
+        return " ".join(parts)

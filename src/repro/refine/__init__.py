@@ -1,0 +1,15 @@
+"""Partition refinement: Fiduccia–Mattheyses, Kernighan–Lin, strips."""
+
+from .fm import FMResult, fm_refine
+from .kl import KLResult, kl_refine
+from .strip import StripResult, strip_mask, strip_refine
+
+__all__ = [
+    "FMResult",
+    "fm_refine",
+    "KLResult",
+    "kl_refine",
+    "StripResult",
+    "strip_mask",
+    "strip_refine",
+]

@@ -1,0 +1,52 @@
+"""Common result record for all partitioners.
+
+Every partitioner in the library — ScalaPart, the geometric variants,
+RCB, the multilevel baselines — returns a :class:`PartitionResult`, so
+the benchmark harness can sweep methods uniformly.  ``stage_seconds``
+holds wall-clock stage timings for sequential runs and *simulated*
+stage timings (from the virtual machine) for distributed runs; the
+``simulated`` flag says which.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .graph.partition import Bisection
+
+__all__ = ["PartitionResult"]
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of one partitioning run."""
+
+    bisection: Bisection
+    method: str
+    seconds: float = 0.0
+    simulated: bool = False
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cut_size(self) -> int:
+        return self.bisection.cut_size
+
+    @property
+    def cut_weight(self) -> float:
+        return self.bisection.cut_weight
+
+    @property
+    def imbalance(self) -> float:
+        return self.bisection.imbalance
+
+    def validate(self, max_imbalance: Optional[float] = None) -> None:
+        self.bisection.validate(max_imbalance)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "sim" if self.simulated else "wall"
+        return (
+            f"PartitionResult({self.method}: cut={self.cut_size}, "
+            f"imbalance={self.imbalance:.3f}, {kind}={self.seconds:.4g}s)"
+        )

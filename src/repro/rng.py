@@ -1,0 +1,79 @@
+"""Deterministic random-number utilities.
+
+All stochastic components of the library (random matchings, initial
+embeddings, great-circle sampling, synthetic graph generators, the SPMD
+simulator's per-rank streams) draw from :class:`numpy.random.Generator`
+instances created here, so that every experiment in the benchmark harness
+is exactly reproducible from a single integer seed.
+
+Per-rank streams are derived with ``SeedSequence.spawn`` which guarantees
+statistical independence between ranks, mirroring how a well-written MPI
+code would seed ``rank``-local generators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+#: Default seed used across the benchmark harness.
+DEFAULT_SEED = 20131117  # SC'13 started November 17 2013.
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an ``int``, a ``SeedSequence`` or an
+    existing ``Generator`` (returned unchanged so callers can thread one
+    generator through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_streams(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """Create ``n`` independent generators from one seed.
+
+    Used to give each virtual rank of the SPMD machine its own stream.
+    When ``seed`` is already a Generator, its internal bit generator's
+    seed sequence is spawned, keeping determinism.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} streams")
+    if isinstance(seed, np.random.Generator):
+        ss = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+    elif isinstance(seed, np.random.SeedSequence):
+        ss = seed
+    else:
+        ss = np.random.SeedSequence(DEFAULT_SEED if seed is None else seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def derive_seed(seed: SeedLike, *salt: int) -> int:
+    """Derive a stable 63-bit integer sub-seed from ``seed`` and ``salt``.
+
+    Different components of a pipeline (coarsening, embedding, circle
+    sampling) call this with distinct salts so that changing the number of
+    random draws in one component does not perturb the others.
+    """
+    if isinstance(seed, np.random.Generator):
+        base = int(seed.integers(0, 2**63 - 1))
+    elif isinstance(seed, np.random.SeedSequence):
+        base = int(seed.generate_state(1, dtype=np.uint64)[0] & 0x7FFFFFFFFFFFFFFF)
+    elif seed is None:
+        base = DEFAULT_SEED
+    else:
+        base = int(seed)
+    mix = np.random.SeedSequence([base, *[int(s) for s in salt]])
+    return int(mix.generate_state(1, dtype=np.uint64)[0] & 0x7FFFFFFFFFFFFFFF)
+
+
+def permutation(seed: SeedLike, n: int) -> np.ndarray:
+    """Deterministic random permutation of ``range(n)``."""
+    return as_generator(seed).permutation(n)

@@ -1,0 +1,96 @@
+"""Tests for recursive coordinate bisection."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import rcb_bisect, rcb_grid_map, rcb_labels
+from repro.errors import GeometryError
+from repro.graph.generators import grid2d, random_delaunay
+
+
+class TestRCBBisect:
+    def test_grid_cut_along_short_axis(self):
+        g, pts = grid2d(20, 10)  # wide grid: cut across x, costing ny=10
+        res = rcb_bisect(g, pts)
+        assert res.cut_size == 10
+        assert res.bisection.imbalance <= 0.01
+
+    def test_balanced_on_delaunay(self):
+        g, pts = random_delaunay(1001, seed=0)
+        res = rcb_bisect(g, pts)
+        assert abs(res.bisection.part_sizes[0] - res.bisection.part_sizes[1]) <= 1
+
+    def test_deterministic(self):
+        g, pts = random_delaunay(200, seed=1)
+        a = rcb_bisect(g, pts)
+        b = rcb_bisect(g, pts, seed=99)  # seed ignored
+        assert np.array_equal(a.bisection.side, b.bisection.side)
+
+    def test_coords_shape_checked(self):
+        g, pts = grid2d(4, 4)
+        with pytest.raises(GeometryError):
+            rcb_bisect(g, pts[:3])
+
+    def test_result_metadata(self):
+        g, pts = grid2d(8, 8)
+        res = rcb_bisect(g, pts)
+        assert res.method == "RCB"
+        assert "sdist" in res.extras
+        assert res.seconds >= 0
+
+
+class TestRCBLabels:
+    def test_power_of_two_parts_balanced(self):
+        rng = np.random.default_rng(2)
+        pts = rng.random((1000, 2))
+        labels = rcb_labels(pts, np.ones(1000), 8)
+        counts = np.bincount(labels, minlength=8)
+        assert counts.min() >= 100
+        assert counts.max() <= 150
+
+    def test_odd_part_count(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((900, 2))
+        labels = rcb_labels(pts, np.ones(900), 3)
+        counts = np.bincount(labels, minlength=3)
+        assert len(counts) == 3
+        assert counts.min() > 200
+
+    def test_single_part(self):
+        pts = np.zeros((5, 2))
+        assert (rcb_labels(pts, np.ones(5), 1) == 0).all()
+
+    def test_weighted_split(self):
+        pts = np.column_stack([np.arange(4, dtype=float), np.zeros(4)])
+        w = np.array([3.0, 1.0, 1.0, 3.0])
+        labels = rcb_labels(pts, w, 2)
+        assert labels.tolist() == [0, 0, 1, 1]
+
+    def test_invalid_nparts(self):
+        with pytest.raises(GeometryError):
+            rcb_labels(np.zeros((3, 2)), np.ones(3), 0)
+
+
+class TestRCBGridMap:
+    def test_grid_assignment_balanced(self):
+        rng = np.random.default_rng(4)
+        pts = rng.random((1600, 2))
+        row, col = rcb_grid_map(pts, np.ones(1600), 4, 4)
+        assert row.max() == 3 and col.max() == 3
+        counts = np.bincount(row * 4 + col, minlength=16)
+        assert counts.min() >= 80
+
+    def test_rows_follow_y(self):
+        pts = np.array([[0.5, 0.1], [0.5, 0.9]])
+        row, col = rcb_grid_map(pts, np.ones(2), 2, 1)
+        assert row.tolist() == [0, 1]
+        assert col.tolist() == [0, 0]
+
+    def test_single_cell(self):
+        pts = np.random.default_rng(5).random((10, 2))
+        row, col = rcb_grid_map(pts, np.ones(10), 1, 1)
+        assert (row == 0).all() and (col == 0).all()
+
+    def test_invalid_dims(self):
+        with pytest.raises(GeometryError):
+            rcb_grid_map(np.zeros((3, 2)), np.ones(3), 0, 2)

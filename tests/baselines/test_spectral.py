@@ -1,0 +1,62 @@
+"""Tests for spectral bisection."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import fiedler_vector, spectral_bisect
+from repro.errors import PartitionError
+from repro.graph import CSRGraph
+from repro.graph.generators import grid2d, path_graph, random_delaunay
+
+
+class TestFiedler:
+    def test_path_fiedler_is_monotone(self):
+        g = path_graph(30).graph
+        f = fiedler_vector(g)
+        s = np.sign(np.diff(f))
+        # monotone up or down along the path
+        assert (s >= 0).all() or (s <= 0).all()
+
+    def test_orthogonal_to_constant(self):
+        g = grid2d(8, 8).graph
+        f = fiedler_vector(g)
+        assert abs(f.sum()) < 1e-6 * np.abs(f).sum() + 1e-9
+
+    def test_tiny_graph(self):
+        g = path_graph(2).graph
+        assert fiedler_vector(g).shape == (2,)
+
+    def test_lobpcg_path_large(self):
+        g = random_delaunay(800, seed=0).graph
+        f = fiedler_vector(g, seed=1)
+        assert np.isfinite(f).all()
+        assert f.std() > 0
+
+
+class TestSpectralBisect:
+    def test_splits_two_cliques(self):
+        # two K8 cliques joined by one edge: spectral must find the bridge
+        import itertools
+
+        edges = [(a, b) for a, b in itertools.combinations(range(8), 2)]
+        edges += [(a + 8, b + 8) for a, b in itertools.combinations(range(8), 2)]
+        edges.append((0, 8))
+        g = CSRGraph.from_edges(16, np.array(edges))
+        res = spectral_bisect(g, seed=2)
+        assert res.cut_size == 1
+
+    def test_grid_quality(self):
+        g = grid2d(16, 16).graph
+        res = spectral_bisect(g, seed=3)
+        res.validate(max_imbalance=0.06)
+        assert res.cut_size <= 24
+
+    def test_too_small(self):
+        with pytest.raises(PartitionError):
+            spectral_bisect(CSRGraph.empty(1))
+
+    def test_refine_flag(self):
+        g = random_delaunay(600, seed=4).graph
+        raw = spectral_bisect(g, seed=5, refine=False)
+        ref = spectral_bisect(g, seed=5, refine=True)
+        assert ref.cut_size <= raw.cut_size

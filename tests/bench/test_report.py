@@ -1,0 +1,36 @@
+"""Tests for the bench report formatting helpers."""
+
+from repro.bench import banner, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title_banner(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert "My Table" in out
+        assert out.splitlines()[0].startswith("=")
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456], [1234.5], [0.0]])
+        assert "0.123" in out
+        assert "0" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestFormatSeries:
+    def test_series_rows(self):
+        out = format_series("T", "P", [1, 2], [("m1", [10, 20]), ("m2", [3, 4])])
+        assert "m1" in out and "m2" in out
+        assert "20" in out
+
+    def test_banner(self):
+        assert banner("hi").count("\n") == 2

@@ -1,0 +1,55 @@
+"""Tests for the cached sweep runner (using cheap methods only)."""
+
+import json
+
+import pytest
+
+from repro.bench import runner
+from repro.bench.runner import RunRecord, run_method
+from repro.errors import ConfigError
+
+
+class TestRunMethod:
+    def test_rcb_record_fields(self):
+        rec = run_method("RCB", "ecology1", 4, use_cache=False)
+        assert rec.method == "RCB"
+        assert rec.graph == "ecology1"
+        assert rec.p == 4
+        assert rec.cut > 0
+        assert rec.seconds > 0
+        assert rec.simulated
+
+    def test_sequential_method_ignores_p(self):
+        a = run_method("G7-NL", "ecology1", use_cache=False)
+        assert not a.simulated
+        assert a.cut > 0
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigError):
+            run_method("Magic", "ecology1", use_cache=False)
+
+    def test_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(runner, "_CACHE_DIR", tmp_path)
+        runner._MEMO.clear()
+        a = run_method("RCB", "ecology2", 4)
+        files = list(tmp_path.glob("*.json"))
+        assert len(files) == 1
+        # cache hit returns the identical record
+        runner._MEMO.clear()
+        b = run_method("RCB", "ecology2", 4)
+        assert a == b
+
+    def test_record_json_serialisable(self):
+        rec = run_method("RCB", "ecology1", 4, use_cache=False)
+        from dataclasses import asdict
+
+        blob = json.dumps(asdict(rec))
+        back = RunRecord(**json.loads(blob))
+        assert back == rec
+
+    def test_clear_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(runner, "_CACHE_DIR", tmp_path)
+        run_method("RCB", "ecology1", 4)
+        runner.clear_cache()
+        assert not list(tmp_path.glob("*.json"))
+        assert not runner._MEMO

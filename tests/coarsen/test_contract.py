@@ -1,0 +1,94 @@
+"""Unit and property tests for graph contraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coarsen import coarse_map, contract, heavy_edge_matching, project_labels
+from repro.errors import GraphError
+from repro.graph import CSRGraph, cut_weight
+from repro.graph.generators import grid2d, path_graph, random_delaunay
+
+
+class TestCoarseMap:
+    def test_identity_matching(self):
+        cmap = coarse_map(np.arange(5))
+        assert cmap.tolist() == [0, 1, 2, 3, 4]
+
+    def test_pairs_share_id(self):
+        cmap = coarse_map(np.array([1, 0, 3, 2]))
+        assert cmap[0] == cmap[1]
+        assert cmap[2] == cmap[3]
+        assert cmap[0] != cmap[2]
+
+    def test_ids_contiguous(self):
+        cmap = coarse_map(np.array([2, 1, 0, 4, 3]))
+        assert sorted(set(cmap.tolist())) == list(range(cmap.max() + 1))
+
+
+class TestContract:
+    def test_path_contraction(self):
+        g = path_graph(4).graph
+        coarse, cmap = contract(g, np.array([1, 0, 3, 2]))
+        assert coarse.num_vertices == 2
+        assert coarse.num_edges == 1
+        # the surviving edge carries the original weight
+        assert coarse.total_edge_weight == pytest.approx(1.0)
+        assert coarse.vwgt.tolist() == [2.0, 2.0]
+
+    def test_parallel_edges_accumulate(self):
+        # square 0-1-2-3-0; contract (0,1) and (2,3): two parallel edges merge
+        g = CSRGraph.from_edges(4, np.array([[0, 1], [1, 2], [2, 3], [3, 0]]))
+        coarse, _ = contract(g, np.array([1, 0, 3, 2]))
+        assert coarse.num_vertices == 2
+        assert coarse.num_edges == 1
+        assert coarse.total_edge_weight == pytest.approx(2.0)
+
+    def test_vertex_weight_conserved(self):
+        g = random_delaunay(200, seed=1).graph
+        m = heavy_edge_matching(g, seed=2)
+        coarse, _ = contract(g, m)
+        assert coarse.total_vertex_weight == pytest.approx(g.total_vertex_weight)
+
+    def test_empty_matching_is_copy(self):
+        g = grid2d(4, 4).graph
+        coarse, cmap = contract(g, np.arange(16))
+        assert coarse == g
+        assert np.array_equal(cmap, np.arange(16))
+
+    def test_bad_match_length(self):
+        g = path_graph(3).graph
+        with pytest.raises(GraphError):
+            contract(g, np.array([0, 1]))
+
+    def test_project_labels_roundtrip(self):
+        g = path_graph(4).graph
+        coarse, cmap = contract(g, np.array([1, 0, 3, 2]))
+        side = np.array([0, 1], dtype=np.int8)
+        fine = project_labels(side, cmap)
+        assert fine.tolist() == [0, 0, 1, 1]
+
+    def test_project_coordinates(self):
+        cmap = np.array([0, 0, 1])
+        coords = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = project_labels(coords, cmap)
+        assert out.shape == (3, 2)
+        assert out[1].tolist() == [1.0, 2.0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31), n=st.integers(10, 120))
+def test_projected_cut_invariant(seed, n):
+    """Multilevel invariant: the cut of any coarse bisection equals the
+    cut of its projection to the fine graph (in edge weight)."""
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(3 * n, 2))
+    g = CSRGraph.from_edges(n, edges, rng.random(3 * n) + 0.5)
+    m = heavy_edge_matching(g, seed=seed)
+    coarse, cmap = contract(g, m)
+    cside = rng.integers(0, 2, coarse.num_vertices).astype(np.int8)
+    fside = project_labels(cside, cmap)
+    assert cut_weight(coarse, cside) == pytest.approx(cut_weight(g, fside))
+    # part weights are preserved too
+    assert coarse.vwgt[cside == 0].sum() == pytest.approx(g.vwgt[fside == 0].sum())

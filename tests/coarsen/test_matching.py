@@ -1,0 +1,105 @@
+"""Unit and property tests for matchings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coarsen import heavy_edge_matching, random_matching, validate_matching
+from repro.errors import GraphError
+from repro.graph import CSRGraph
+from repro.graph.generators import complete_graph, grid2d, path_graph, random_delaunay, star_graph
+
+
+class TestHeavyEdgeMatching:
+    def test_valid_on_grid(self):
+        g = grid2d(8, 8).graph
+        m = heavy_edge_matching(g, seed=1)
+        validate_matching(g, m)
+
+    def test_matches_most_of_a_grid(self):
+        g = grid2d(10, 10).graph
+        m = heavy_edge_matching(g, seed=2)
+        matched = (m != np.arange(g.num_vertices)).sum()
+        assert matched >= 0.8 * g.num_vertices
+
+    def test_prefers_heavy_edges(self):
+        # C6 with alternating weights 10/1: regardless of visit order,
+        # HEM must select exactly the three disjoint heavy edges
+        edges = np.array([[0, 1], [1, 2], [2, 3], [3, 4], [4, 5], [5, 0]])
+        w = np.array([10.0, 1.0, 10.0, 1.0, 10.0, 1.0])
+        g = CSRGraph.from_edges(6, edges, w)
+        for seed in range(5):
+            m = heavy_edge_matching(g, seed=seed)
+            assert m.tolist() == [1, 0, 3, 2, 5, 4]
+
+    def test_isolated_vertices_unmatched(self):
+        g = CSRGraph.empty(4)
+        m = heavy_edge_matching(g, seed=0)
+        assert np.array_equal(m, np.arange(4))
+
+    def test_star_matches_single_pair(self):
+        g = star_graph(6).graph
+        m = heavy_edge_matching(g, seed=4)
+        matched = (m != np.arange(6)).sum()
+        assert matched == 2  # the hub can only pair with one leaf
+
+    def test_deterministic_given_seed(self):
+        g = random_delaunay(300, seed=5).graph
+        assert np.array_equal(
+            heavy_edge_matching(g, seed=7), heavy_edge_matching(g, seed=7)
+        )
+
+    def test_different_seeds_differ(self):
+        g = grid2d(12, 12).graph
+        a = heavy_edge_matching(g, seed=1)
+        b = heavy_edge_matching(g, seed=2)
+        assert not np.array_equal(a, b)
+
+
+class TestRandomMatching:
+    def test_valid_and_maximal_on_path(self):
+        g = path_graph(10).graph
+        m = random_matching(g, seed=1)
+        validate_matching(g, m)
+        # maximal: no two adjacent vertices both unmatched
+        un = np.flatnonzero(m == np.arange(10))
+        for v in un:
+            assert all(m[u] != u for u in g.neighbors(v))
+
+    def test_complete_graph_perfect(self):
+        g = complete_graph(8).graph
+        m = random_matching(g, seed=2)
+        assert (m != np.arange(8)).all()
+
+
+class TestValidation:
+    def test_rejects_non_involution(self):
+        g = path_graph(3).graph
+        with pytest.raises(GraphError):
+            validate_matching(g, np.array([1, 2, 0]))
+
+    def test_rejects_non_edges(self):
+        g = path_graph(4).graph
+        with pytest.raises(GraphError):
+            validate_matching(g, np.array([3, 1, 2, 0]))
+
+    def test_rejects_wrong_length(self):
+        g = path_graph(3).graph
+        with pytest.raises(GraphError):
+            validate_matching(g, np.array([0, 1]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(4, 40),
+    density=st.floats(0.05, 0.5),
+    seed=st.integers(0, 2**31),
+)
+def test_hem_always_valid_on_random_graphs(n, density, seed):
+    rng = np.random.default_rng(seed)
+    m = max(1, int(density * n * (n - 1) / 2))
+    edges = rng.integers(0, n, size=(m, 2))
+    g = CSRGraph.from_edges(n, edges)
+    match = heavy_edge_matching(g, seed=seed)
+    validate_matching(g, match)

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def grid_10x10():
+    return gen.grid2d(10, 10)
+
+
+@pytest.fixture
+def small_delaunay():
+    return gen.random_delaunay(200, seed=7)
+
+
+@pytest.fixture
+def medium_delaunay():
+    return gen.random_delaunay(1500, seed=11)

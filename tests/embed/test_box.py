@@ -1,0 +1,80 @@
+"""Unit tests for bounding boxes and lattice-cell arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.embed import Box, cell_ids, cell_indices
+from repro.errors import EmbeddingError
+
+
+class TestBox:
+    def test_of_points(self):
+        pts = np.array([[0.0, 1.0], [2.0, -1.0]])
+        b = Box.of_points(pts)
+        assert b.contains(pts).all()
+        assert np.allclose(b.size, [2, 2], atol=1e-6)
+
+    def test_of_points_empty(self):
+        b = Box.of_points(np.zeros((0, 2)))
+        assert np.allclose(b.size, [1, 1])
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(EmbeddingError):
+            Box(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+
+    def test_scaled_about_origin(self):
+        b = Box(np.array([1.0, 1.0]), np.array([2.0, 3.0])).scaled(2.0)
+        assert np.allclose(b.lo, [2, 2])
+        assert np.allclose(b.hi, [4, 6])
+
+    def test_expanded_keeps_center(self):
+        b = Box(np.zeros(2), np.ones(2))
+        e = b.expanded(2.0)
+        assert np.allclose(e.center, b.center)
+        assert np.allclose(e.size, 2 * b.size)
+
+    def test_clip(self):
+        b = Box.unit()
+        out = b.clip(np.array([[2.0, -1.0]]))
+        assert out.tolist() == [[1.0, 0.0]]
+
+    def test_cell_box_tiles_box(self):
+        b = Box(np.zeros(2), np.array([4.0, 2.0]))
+        c = b.cell_box(1, 0, 2)
+        assert np.allclose(c.lo, [0.0, 1.0])
+        assert np.allclose(c.hi, [2.0, 2.0])
+        with pytest.raises(EmbeddingError):
+            b.cell_box(2, 0, 2)
+
+
+class TestCells:
+    def test_cell_indices_basic(self):
+        b = Box.unit()
+        pts = np.array([[0.1, 0.1], [0.9, 0.1], [0.1, 0.9]])
+        row, col = cell_indices(pts, b, 2)
+        assert row.tolist() == [0, 0, 1]
+        assert col.tolist() == [0, 1, 0]
+
+    def test_points_outside_clamped(self):
+        b = Box.unit()
+        row, col = cell_indices(np.array([[5.0, -3.0]]), b, 4)
+        assert (row[0], col[0]) == (0, 3)
+
+    def test_cell_ids_row_major(self):
+        b = Box.unit()
+        cid = cell_ids(np.array([[0.9, 0.9]]), b, 4)
+        assert cid[0] == 15
+
+    def test_invalid_lattice_side(self):
+        with pytest.raises(EmbeddingError):
+            cell_ids(np.zeros((1, 2)), Box.unit(), 0)
+
+    def test_every_point_maps_to_its_cell_box(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((200, 2)) * 3 - 1
+        b = Box.of_points(pts)
+        s = 5
+        row, col = cell_indices(pts, b, s)
+        for t in range(0, 200, 37):
+            cb = b.cell_box(int(row[t]), int(col[t]), s)
+            assert cb.contains(pts[t : t + 1])[0]

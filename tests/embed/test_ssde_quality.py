@@ -1,0 +1,114 @@
+"""Tests for SSDE embedding and the embedding-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.embed import (
+    bfs_hops,
+    crossing_proxy,
+    edge_length_stats,
+    multilevel_embedding,
+    neighborhood_preservation,
+    normalized_stress,
+    ssde_embedding,
+)
+from repro.errors import EmbeddingError
+from repro.graph import CSRGraph
+from repro.graph.generators import cycle_graph, grid2d, path_graph, random_delaunay
+
+
+class TestBFS:
+    def test_path_distances(self):
+        g = path_graph(6).graph
+        assert bfs_hops(g, 0).tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_disconnected_minus_one(self):
+        g = CSRGraph.from_edges(4, np.array([[0, 1]]))
+        d = bfs_hops(g, 0)
+        assert d[1] == 1
+        assert d[2] == d[3] == -1
+
+    def test_source_bounds(self):
+        g = path_graph(3).graph
+        with pytest.raises(EmbeddingError):
+            bfs_hops(g, 7)
+
+    def test_grid_distance_is_manhattan(self):
+        g, _ = grid2d(5, 5)
+        d = bfs_hops(g, 0)  # corner
+        assert d[24] == 8  # opposite corner: 4+4
+
+
+class TestSSDE:
+    def test_shapes_and_finiteness(self):
+        g = random_delaunay(400, seed=0).graph
+        pos = ssde_embedding(g, seed=1)
+        assert pos.shape == (400, 2)
+        assert np.isfinite(pos).all()
+
+    def test_respects_graph_distance_on_path(self):
+        g = path_graph(40).graph
+        pos = ssde_embedding(g, landmarks=6, seed=2)
+        # endpoints of the path should be far apart in the embedding
+        span = np.linalg.norm(pos[0] - pos[39])
+        mid = np.linalg.norm(pos[0] - pos[20])
+        assert span > mid
+
+    def test_better_than_random_stress(self):
+        g = random_delaunay(500, seed=3).graph
+        rng = np.random.default_rng(4)
+        s_ssde = normalized_stress(g, ssde_embedding(g, seed=5), seed=6)
+        s_rand = normalized_stress(g, rng.random((500, 2)), seed=6)
+        assert s_ssde < s_rand
+
+    def test_small_graphs(self):
+        g = path_graph(3).graph
+        assert ssde_embedding(g, seed=7).shape == (3, 2)
+        assert ssde_embedding(CSRGraph.empty(0)).shape == (0, 2)
+
+    def test_deterministic(self):
+        g = grid2d(8, 8).graph
+        a = ssde_embedding(g, seed=8)
+        b = ssde_embedding(g, seed=8)
+        assert np.allclose(a, b)
+
+
+class TestQualityMetrics:
+    def test_edge_length_stats_grid(self):
+        g, pts = grid2d(6, 6)
+        st = edge_length_stats(g, pts)
+        assert st.mean == pytest.approx(1.0)
+        assert st.cv == pytest.approx(0.0)
+
+    def test_neighborhood_preservation_native_coords(self):
+        g, pts = random_delaunay(400, seed=9)
+        assert neighborhood_preservation(g, pts, seed=10) > 0.5
+
+    def test_preservation_random_coords_low(self):
+        g, _ = random_delaunay(400, seed=11)
+        rnd = np.random.default_rng(12).random((400, 2))
+        assert neighborhood_preservation(g, rnd, seed=13) < 0.2
+
+    def test_stress_zero_for_exact_line(self):
+        g = path_graph(20).graph
+        pts = np.column_stack([np.arange(20.0), np.zeros(20)])
+        assert normalized_stress(g, pts, seed=14) < 1e-9
+
+    def test_crossing_proxy_bounds(self):
+        g, pts = grid2d(10, 10)
+        v = crossing_proxy(g, pts)
+        assert 0 < v < 0.2
+
+    def test_shape_validation(self):
+        g = path_graph(4).graph
+        with pytest.raises(EmbeddingError):
+            edge_length_stats(g, np.zeros((3, 2)))
+
+    def test_multilevel_embedding_scores_well(self):
+        """The library's own embedding must respect graph locality —
+        the property the whole pipeline depends on."""
+        g = random_delaunay(600, seed=15).graph
+        pos = multilevel_embedding(g, seed=16).pos
+        assert neighborhood_preservation(g, pos, seed=17) > 0.35
+        rnd = np.random.default_rng(18).random((600, 2))
+        assert crossing_proxy(g, pos) < crossing_proxy(g, rnd)

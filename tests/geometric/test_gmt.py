@@ -1,0 +1,149 @@
+"""Tests for separator candidates and the G30/G7/G7-NL drivers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometric import (
+    evaluate_cuts,
+    g7,
+    g7_nl,
+    g30,
+    geometric_partition,
+    median_split,
+    normalize_coords,
+)
+from repro.geometric.circles import circle_candidates, line_candidates
+from repro.graph import cut_weight
+from repro.graph.generators import grid2d, random_delaunay
+
+
+class TestMedianSplit:
+    def test_balances_unit_weights(self):
+        rng = np.random.default_rng(0)
+        v = rng.random(101)
+        side, sdist = median_split(v, np.ones(101))
+        assert abs(int((side == 0).sum()) - int((side == 1).sum())) <= 1
+
+    def test_balances_under_ties(self):
+        v = np.zeros(10)  # all identical projections
+        side, _ = median_split(v, np.ones(10))
+        assert (side == 0).sum() == (side == 1).sum() == 5
+
+    def test_weighted(self):
+        v = np.arange(4, dtype=float)
+        w = np.array([3.0, 1.0, 1.0, 3.0])
+        side, _ = median_split(v, w)
+        assert side.tolist() == [0, 0, 1, 1]
+
+    def test_sdist_sign_matches_side(self):
+        rng = np.random.default_rng(1)
+        v = rng.random(50)
+        side, sdist = median_split(v, np.ones(50))
+        assert (sdist[side == 1] >= 0).all()
+
+    def test_empty(self):
+        side, sdist = median_split(np.zeros(0), np.zeros(0))
+        assert side.shape == (0,)
+
+
+class TestCandidates:
+    def test_circle_candidates_balanced(self):
+        rng = np.random.default_rng(2)
+        u = rng.normal(size=(200, 3))
+        u /= np.linalg.norm(u, axis=1, keepdims=True)
+        cands = circle_candidates(u, np.ones(200), 5, rng)
+        assert len(cands) == 5
+        for c in cands:
+            assert abs(int(c.side.sum()) - 100) <= 1
+
+    def test_line_candidates(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((100, 2))
+        cands = line_candidates(pts, np.ones(100), 3, rng)
+        assert all(c.kind == "line" for c in cands)
+
+    def test_evaluate_cuts_matches_cut_weight(self):
+        g, pts = random_delaunay(300, seed=4)
+        rng = np.random.default_rng(5)
+        cands = line_candidates(pts, g.vwgt, 4, rng)
+        cuts = evaluate_cuts(g, cands)
+        for c, cut in zip(cands, cuts):
+            assert cut == pytest.approx(cut_weight(g, c.side))
+
+    def test_evaluate_no_candidates(self):
+        g, _ = random_delaunay(50, seed=6)
+        assert evaluate_cuts(g, []).shape == (0,)
+
+
+class TestNormalize:
+    def test_median_radius_one(self):
+        rng = np.random.default_rng(7)
+        pts = rng.random((500, 2)) * 100 + 42
+        norm = normalize_coords(pts)
+        assert np.median(np.linalg.norm(norm, axis=1)) == pytest.approx(1.0)
+
+    def test_degenerate_all_same(self):
+        norm = normalize_coords(np.ones((10, 2)))
+        assert np.isfinite(norm).all()
+
+    def test_bad_shape(self):
+        with pytest.raises(GeometryError):
+            normalize_coords(np.zeros((5, 3)))
+
+
+class TestGeometricPartition:
+    def test_grid_with_native_coords(self):
+        g, pts = grid2d(20, 20)
+        res = g30(g, pts, seed=0)
+        res.bisection.validate(max_imbalance=0.05)
+        # an ideal straight cut costs 20; geometric should be close
+        assert res.cut_size <= 40
+
+    def test_delaunay_quality(self):
+        g, pts = random_delaunay(2000, seed=1)
+        res = g30(g, pts, seed=2)
+        res.bisection.validate(max_imbalance=0.05)
+        # O(sqrt(n)) separator expected for a planar mesh
+        assert res.cut_size < 6 * np.sqrt(2000)
+
+    def test_g30_beats_or_ties_g7nl_usually(self):
+        g, pts = random_delaunay(1200, seed=3)
+        wins = 0
+        for s in range(5):
+            c30 = g30(g, pts, seed=s).cut
+            c7 = g7_nl(g, pts, seed=s).cut
+            wins += c30 <= c7
+        assert wins >= 3  # more tries can't be much worse
+
+    def test_g7_includes_lines(self):
+        g, pts = grid2d(15, 15)
+        res = g7(g, pts, seed=4)
+        assert res.candidates == 7
+
+    def test_g7nl_candidate_count(self):
+        g, pts = grid2d(10, 10)
+        res = g7_nl(g, pts, seed=5)
+        assert res.candidates == 5
+        assert res.kind == "circle"
+
+    def test_sdist_separates_sides(self):
+        g, pts = random_delaunay(500, seed=6)
+        res = g7_nl(g, pts, seed=7)
+        s = res.sdist
+        assert (s[res.bisection.side == 1] >= 0).all()
+
+    def test_validation_errors(self):
+        g, pts = grid2d(5, 5)
+        with pytest.raises(GeometryError):
+            geometric_partition(g, pts[:10], seed=0)
+        with pytest.raises(GeometryError):
+            geometric_partition(g, pts, ncircles=0, nlines=0)
+        with pytest.raises(GeometryError):
+            geometric_partition(g, pts, ncenterpoints=0)
+
+    def test_deterministic(self):
+        g, pts = random_delaunay(400, seed=8)
+        a = g7_nl(g, pts, seed=9)
+        b = g7_nl(g, pts, seed=9)
+        assert np.array_equal(a.bisection.side, b.bisection.side)

@@ -1,0 +1,122 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators as gen
+
+
+class TestClassics:
+    def test_path(self):
+        g, coords = gen.path_graph(5)
+        assert g.num_edges == 4
+        assert coords.shape == (5, 2)
+
+    def test_cycle(self):
+        g, _ = gen.cycle_graph(7)
+        assert g.num_edges == 7
+        assert (g.degrees() == 2).all()
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            gen.cycle_graph(2)
+
+    def test_star(self):
+        g, _ = gen.star_graph(6)
+        assert g.degrees()[0] == 5
+        assert (g.degrees()[1:] == 1).all()
+
+    def test_complete(self):
+        g, _ = gen.complete_graph(6)
+        assert g.num_edges == 15
+
+    def test_caterpillar(self):
+        g, _ = gen.caterpillar(4, 2)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 + 8
+
+
+class TestMeshes:
+    def test_grid2d_counts(self):
+        g, coords = gen.grid2d(4, 6)
+        assert g.num_vertices == 24
+        assert g.num_edges == 3 * 6 + 5 * 4
+        assert coords.shape == (24, 2)
+
+    def test_grid2d_periodic(self):
+        g, _ = gen.grid2d(5, 5, periodic=True)
+        assert (g.degrees() == 4).all()
+
+    def test_grid2d_diagonals(self):
+        g, _ = gen.grid2d(3, 3, diagonals=True)
+        # center vertex sees all 8 others
+        assert g.degrees().max() == 8
+
+    def test_grid2d_invalid(self):
+        with pytest.raises(GraphError):
+            gen.grid2d(0, 3)
+
+    def test_grid3d(self):
+        g, _ = gen.grid3d(3, 3, 3)
+        assert g.num_vertices == 27
+        assert g.num_edges == 3 * (2 * 9)
+
+    def test_delaunay_planar_edge_bound(self):
+        g, pts = gen.random_delaunay(300, seed=3)
+        assert g.num_vertices == 300
+        # planar: m <= 3n - 6
+        assert g.num_edges <= 3 * 300 - 6
+        assert g.is_connected()
+
+    def test_delaunay_requires_points(self):
+        with pytest.raises(GraphError):
+            gen.delaunay_mesh(np.zeros((2, 2)))
+
+    def test_perforated_mesh(self):
+        g, pts = gen.perforated_delaunay(2000, holes=5, seed=9)
+        assert g.is_connected()
+        assert g.num_vertices > 1000
+        assert pts.shape[0] == g.num_vertices
+
+    def test_annulus_mesh(self):
+        g, pts = gen.annulus_delaunay(2000, seed=9)
+        assert g.is_connected()
+        # elongated domain
+        assert np.ptp(pts[:, 0]) > 3 * np.ptp(pts[:, 1])
+
+
+class TestIrregular:
+    def test_circuit_grid_has_shorts(self):
+        base = gen.grid2d(20, 20).graph
+        g, _ = gen.circuit_grid(20, 20, shorts_fraction=0.05, seed=1)
+        assert g.num_edges > base.num_edges
+
+    def test_kkt_power_heavy_tail(self):
+        g, _ = gen.kkt_power_like(30, seed=2)
+        deg = g.degrees()
+        assert deg.max() > 5 * np.median(deg)
+        assert g.is_connected()
+
+    def test_random_geometric(self):
+        g, pts = gen.random_geometric(500, seed=4)
+        assert g.num_vertices == 500
+        assert g.num_edges > 0
+
+    def test_random_regular_degree_bound(self):
+        g, _ = gen.random_regular(100, 4, seed=5)
+        assert g.degrees().max() <= 4
+
+    def test_random_regular_parity(self):
+        with pytest.raises(GraphError):
+            gen.random_regular(5, 3)
+
+    def test_preferential_attachment(self):
+        g, _ = gen.preferential_attachment(200, m=3, seed=6)
+        assert g.num_vertices == 200
+        assert g.degrees().max() > 10
+
+    def test_generators_deterministic(self):
+        a = gen.random_delaunay(100, seed=42).graph
+        b = gen.random_delaunay(100, seed=42).graph
+        assert a == b

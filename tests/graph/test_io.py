@@ -1,0 +1,109 @@
+"""Unit tests for graph file I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import CSRGraph
+from repro.graph.generators import grid2d, random_delaunay
+from repro.graph.io import (
+    read_coords,
+    read_edgelist,
+    read_metis,
+    write_coords,
+    write_edgelist,
+    write_metis,
+)
+
+
+class TestMetis:
+    def roundtrip(self, g, **kw):
+        buf = io.StringIO()
+        write_metis(g, buf, **kw)
+        buf.seek(0)
+        return read_metis(buf)
+
+    def test_roundtrip_plain(self):
+        g = grid2d(5, 4).graph
+        assert self.roundtrip(g) == g
+
+    def test_roundtrip_weights(self):
+        g = CSRGraph.from_edges(
+            4,
+            np.array([[0, 1], [1, 2], [2, 3]]),
+            np.array([2.0, 3.0, 4.0]),
+            vwgt=np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+        g2 = self.roundtrip(g, vertex_weights=True, edge_weights=True)
+        assert g2 == g
+
+    def test_read_reference_format(self):
+        # the example graph from the METIS manual (7 vertices, 11 edges)
+        text = """\
+% comment line
+7 11
+5 3 2
+1 3 4
+5 4 2 1
+2 3 6 7
+1 3 6
+5 4 7
+6 4
+"""
+        g = read_metis(io.StringIO(text))
+        assert g.num_vertices == 7
+        assert g.num_edges == 11
+        assert sorted(g.neighbors(0).tolist()) == [1, 2, 4]
+
+    def test_read_rejects_bad_edge_count(self):
+        text = "2 5\n2\n1\n"
+        with pytest.raises(GraphError):
+            read_metis(io.StringIO(text))
+
+    def test_read_rejects_missing_lines(self):
+        with pytest.raises(GraphError):
+            read_metis(io.StringIO("3 1\n2\n1\n"))
+
+    def test_read_empty_file(self):
+        with pytest.raises(GraphError):
+            read_metis(io.StringIO(""))
+
+    def test_file_path_roundtrip(self, tmp_path):
+        g = random_delaunay(80, seed=1).graph
+        p = tmp_path / "g.graph"
+        write_metis(g, p)
+        assert read_metis(p) == g
+
+
+class TestEdgeList:
+    def test_roundtrip(self):
+        g = grid2d(4, 4).graph
+        buf = io.StringIO()
+        write_edgelist(g, buf)
+        buf.seek(0)
+        assert read_edgelist(buf, n=16) == g
+
+    def test_comments_and_weights(self):
+        text = "# header\n0 1 2.5\n1 2 1.0\n"
+        g = read_edgelist(io.StringIO(text))
+        assert g.num_vertices == 3
+        assert g.total_edge_weight == pytest.approx(3.5)
+
+    def test_empty(self):
+        g = read_edgelist(io.StringIO(""), n=4)
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+
+
+class TestCoords:
+    def test_roundtrip(self, tmp_path):
+        coords = np.random.default_rng(0).random((10, 2))
+        p = tmp_path / "c.xy"
+        write_coords(coords, p)
+        back = read_coords(p)
+        assert np.allclose(coords, back)
+
+    def test_empty(self):
+        assert read_coords(io.StringIO("")).shape == (0, 2)

@@ -1,0 +1,119 @@
+"""Unit tests for Bisection and cut metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import Bisection, CSRGraph, cut_size, cut_weight, imbalance
+from repro.graph.generators import grid2d, path_graph
+
+
+def half_grid_bisection(nx=8, ny=8):
+    g = grid2d(nx, ny).graph
+    side = (np.arange(nx * ny) % nx >= nx // 2).astype(np.int8)
+    return Bisection(g, side), nx, ny
+
+
+class TestBisection:
+    def test_vertical_grid_cut(self):
+        b, nx, ny = half_grid_bisection()
+        # vertical split of an nx x ny grid cuts exactly ny edges
+        assert b.cut_size == ny
+        assert b.part_sizes == (nx * ny // 2, nx * ny // 2)
+        assert b.imbalance == pytest.approx(0.0)
+
+    def test_from_part0(self):
+        g = path_graph(4).graph
+        b = Bisection.from_part0(g, np.array([0, 1]))
+        assert b.side.tolist() == [0, 0, 1, 1]
+        assert b.cut_size == 1
+
+    def test_flipped_invariant(self):
+        b, _, _ = half_grid_bisection()
+        f = b.flipped()
+        assert f.cut_size == b.cut_size
+        assert f.imbalance == pytest.approx(b.imbalance)
+        assert (f.side + b.side == 1).all()
+
+    def test_side_immutable(self):
+        b, _, _ = half_grid_bisection()
+        with pytest.raises(ValueError):
+            b.side[0] = 1
+
+    def test_rejects_bad_labels(self):
+        g = path_graph(3).graph
+        with pytest.raises(PartitionError):
+            Bisection(g, np.array([0, 1, 2]))
+        with pytest.raises(PartitionError):
+            Bisection(g, np.array([0, 1]))
+
+    def test_bool_labels_accepted(self):
+        g = path_graph(4).graph
+        b = Bisection(g, np.array([False, False, True, True]))
+        assert b.cut_size == 1
+
+    def test_separator_edges_orientation(self):
+        b, _, _ = half_grid_bisection()
+        sep = b.separator_edges()
+        assert sep.shape[0] == b.cut_size
+        assert (b.side[sep[:, 0]] == 0).all()
+        assert (b.side[sep[:, 1]] == 1).all()
+
+    def test_boundary_vertices(self):
+        g = path_graph(6).graph
+        b = Bisection(g, np.array([0, 0, 0, 1, 1, 1]))
+        assert b.boundary_vertices().tolist() == [2, 3]
+
+    def test_external_internal_degrees_sum_to_degree(self):
+        b, _, _ = half_grid_bisection()
+        total = b.external_degrees() + b.internal_degrees()
+        assert np.allclose(total, b.graph.weighted_degrees())
+
+    def test_external_degree_counts_cut(self):
+        b, _, _ = half_grid_bisection()
+        assert b.external_degrees().sum() == pytest.approx(2 * b.cut_size)
+
+    def test_validate_empty_side(self):
+        g = path_graph(4).graph
+        b = Bisection(g, np.zeros(4, dtype=np.int8))
+        with pytest.raises(PartitionError):
+            b.validate()
+
+    def test_validate_imbalance_threshold(self):
+        g = path_graph(10).graph
+        b = Bisection(g, (np.arange(10) >= 8).astype(np.int8))
+        with pytest.raises(PartitionError):
+            b.validate(max_imbalance=0.05)
+        b.validate(max_imbalance=0.7)
+
+    def test_part_weights_with_vertex_weights(self):
+        g = CSRGraph.from_edges(
+            3, np.array([[0, 1], [1, 2]]), vwgt=np.array([1.0, 2.0, 5.0])
+        )
+        b = Bisection(g, np.array([0, 0, 1]))
+        assert b.part_weights == (3.0, 5.0)
+
+
+class TestFreeFunctions:
+    def test_cut_size_matches_bruteforce(self, rng):
+        g = grid2d(6, 7).graph
+        side = rng.integers(0, 2, g.num_vertices).astype(np.int8)
+        brute = sum(
+            1 for u, v, _ in g.iter_edges() if side[u] != side[v]
+        )
+        assert cut_size(g, side) == brute
+
+    def test_cut_weight_weighted(self):
+        g = CSRGraph.from_edges(
+            3, np.array([[0, 1], [1, 2]]), np.array([3.0, 4.0])
+        )
+        assert cut_weight(g, np.array([0, 1, 1])) == pytest.approx(3.0)
+
+    def test_imbalance_extremes(self):
+        g = path_graph(4).graph
+        assert imbalance(g, np.array([0, 0, 1, 1])) == pytest.approx(0.0)
+        assert imbalance(g, np.array([0, 0, 0, 0])) == pytest.approx(1.0)
+
+    def test_imbalance_empty_graph(self):
+        g = CSRGraph.empty(0)
+        assert imbalance(g, np.zeros(0)) == 0.0

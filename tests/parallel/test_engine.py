@@ -1,0 +1,380 @@
+"""Unit tests for the SPMD coroutine engine and communicator API."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommError, DeadlockError
+from repro.parallel import MachineModel, ZERO_COST, payload_words, run_spmd
+
+
+def run0(fn, p, *args, **kw):
+    """Run with the zero-cost machine and return per-rank values."""
+    return run_spmd(fn, p, *args, machine=ZERO_COST, **kw).values
+
+
+class TestBasics:
+    def test_single_rank_plain_function(self):
+        res = run_spmd(lambda comm: comm.rank * 10 + comm.size, 1, machine=ZERO_COST)
+        assert res.values == [1]
+
+    def test_rank_and_size(self):
+        def prog(comm):
+            return (comm.rank, comm.size)
+            yield  # pragma: no cover
+
+        vals = run0(prog, 4)
+        assert vals == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+    def test_invalid_nranks(self):
+        with pytest.raises(CommError):
+            run_spmd(lambda comm: None, 0)
+
+    def test_yielding_garbage_raises(self):
+        def prog(comm):
+            yield 42
+
+        with pytest.raises(CommError, match="yielded"):
+            run0(prog, 2)
+
+    def test_per_rank_rng_streams_differ(self):
+        def prog(comm):
+            return float(comm.rng.random())
+            yield  # pragma: no cover
+
+        vals = run0(prog, 4, seed=9)
+        assert len(set(vals)) == 4
+
+    def test_rng_deterministic_across_runs(self):
+        def prog(comm):
+            return float(comm.rng.random())
+            yield  # pragma: no cover
+
+        assert run0(prog, 3, seed=5) == run0(prog, 3, seed=5)
+
+
+class TestCollectives:
+    def test_barrier(self):
+        def prog(comm):
+            yield from comm.barrier()
+            return comm.rank
+
+        assert run0(prog, 5) == list(range(5))
+
+    def test_bcast(self):
+        def prog(comm):
+            data = {"x": comm.rank} if comm.rank == 1 else None
+            out = yield from comm.bcast(data, root=1)
+            return out["x"]
+
+        assert run0(prog, 4) == [1, 1, 1, 1]
+
+    def test_bcast_copies_arrays(self):
+        def prog(comm):
+            arr = np.zeros(3) if comm.rank == 0 else None
+            out = yield from comm.bcast(arr, root=0)
+            out += comm.rank  # must not alias other ranks' copies
+            return float(out.sum())
+
+        assert run0(prog, 3) == [0.0, 3.0, 6.0]
+
+    def test_reduce_sum_at_root(self):
+        def prog(comm):
+            out = yield from comm.reduce(comm.rank + 1, op="sum", root=2)
+            return out
+
+        vals = run0(prog, 4)
+        assert vals == [None, None, 10, None]
+
+    def test_allreduce_ops(self):
+        for op, expect in [("sum", 6), ("min", 0), ("max", 3), ("prod", 0)]:
+            def prog(comm, op=op):
+                return (yield from comm.allreduce(comm.rank, op=op))
+
+            assert run0(prog, 4) == [expect] * 4
+
+    def test_allreduce_arrays_elementwise(self):
+        def prog(comm):
+            v = np.array([comm.rank, -comm.rank], dtype=float)
+            mx = yield from comm.allreduce(v, op="max")
+            mn = yield from comm.allreduce(v, op="min")
+            return (mx.tolist(), mn.tolist())
+
+        vals = run0(prog, 3)
+        assert vals[0] == ([2.0, 0.0], [0.0, -2.0])
+
+    def test_allreduce_callable_op(self):
+        def prog(comm):
+            return (yield from comm.allreduce((comm.rank, comm.rank * 2),
+                                              op=lambda a, b: (a[0] + b[0], max(a[1], b[1]))))
+
+        assert run0(prog, 3) == [(3, 4)] * 3
+
+    def test_unknown_reduce_op(self):
+        def prog(comm):
+            return (yield from comm.allreduce(1, op="median"))
+
+        with pytest.raises(CommError, match="median"):
+            run0(prog, 2)
+
+    def test_gather(self):
+        def prog(comm):
+            out = yield from comm.gather(comm.rank**2, root=0)
+            return out
+
+        vals = run0(prog, 4)
+        assert vals[0] == [0, 1, 4, 9]
+        assert vals[1:] == [None, None, None]
+
+    def test_allgather_order(self):
+        def prog(comm):
+            return (yield from comm.allgather(chr(ord("a") + comm.rank)))
+
+        assert run0(prog, 3) == [["a", "b", "c"]] * 3
+
+    def test_scatter(self):
+        def prog(comm):
+            data = [i * 10 for i in range(comm.size)] if comm.rank == 0 else None
+            return (yield from comm.scatter(data, root=0))
+
+        assert run0(prog, 4) == [0, 10, 20, 30]
+
+    def test_scatter_wrong_length(self):
+        def prog(comm):
+            data = [1, 2] if comm.rank == 0 else None
+            return (yield from comm.scatter(data, root=0))
+
+        with pytest.raises(CommError, match="scatter"):
+            run0(prog, 3)
+
+    def test_alltoall(self):
+        def prog(comm):
+            out = yield from comm.alltoall(
+                [comm.rank * 10 + j for j in range(comm.size)]
+            )
+            return out
+
+        vals = run0(prog, 3)
+        # rank r receives element r of every rank's list
+        assert vals[1] == [1, 11, 21]
+
+    def test_scan_inclusive(self):
+        def prog(comm):
+            return (yield from comm.scan(comm.rank + 1))
+
+        assert run0(prog, 4) == [1, 3, 6, 10]
+
+    def test_mismatched_collectives_raise(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.barrier()
+            else:
+                yield from comm.allreduce(1)
+
+        with pytest.raises(CommError, match="mismatch"):
+            run0(prog, 2)
+
+    def test_mismatched_roots_raise(self):
+        def prog(comm):
+            return (yield from comm.bcast(1, root=comm.rank))
+
+        with pytest.raises(CommError, match="root"):
+            run0(prog, 2)
+
+
+class TestPointToPoint:
+    def test_ring_pass(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            got = yield from comm.sendrecv(comm.rank, dest=right, source=left)
+            return got
+
+        assert run0(prog, 5) == [4, 0, 1, 2, 3]
+
+    def test_fifo_between_pair(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send("first", dest=1)
+                yield from comm.send("second", dest=1)
+                return None
+            a = yield from comm.recv(source=0)
+            b = yield from comm.recv(source=0)
+            return (a, b)
+
+        vals = run0(prog, 2)
+        assert vals[1] == ("first", "second")
+
+    def test_tags_disambiguate(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send("low", dest=1, tag=1)
+                yield from comm.send("high", dest=1, tag=2)
+                return None
+            hi = yield from comm.recv(source=0, tag=2)
+            lo = yield from comm.recv(source=0, tag=1)
+            return (hi, lo)
+
+        assert run0(prog, 2)[1] == ("high", "low")
+
+    def test_recv_copies_payload(self):
+        def prog(comm):
+            if comm.rank == 0:
+                arr = np.ones(4)
+                yield from comm.send(arr, dest=1)
+                yield from comm.barrier()
+                return arr.sum()
+            got = yield from comm.recv(source=0)
+            got *= 100
+            yield from comm.barrier()
+            return got.sum()
+
+        vals = run0(prog, 2)
+        assert vals == [4.0, 400.0]
+
+    def test_deadlock_detected(self):
+        def prog(comm):
+            got = yield from comm.recv(source=(comm.rank + 1) % comm.size)
+            return got
+
+        with pytest.raises(DeadlockError, match="rank 0"):
+            run0(prog, 2)
+
+    def test_send_out_of_range(self):
+        def prog(comm):
+            yield from comm.send(1, dest=99)
+
+        with pytest.raises(CommError, match="dest"):
+            run0(prog, 2)
+
+    def test_finished_rank_leaves_collective_hanging(self):
+        def prog(comm):
+            if comm.rank == 0:
+                return 0
+            yield from comm.barrier()
+            return 1
+
+        with pytest.raises(DeadlockError):
+            run0(prog, 2)
+
+
+class TestSplit:
+    def test_split_by_parity(self):
+        def prog(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            total = yield from sub.allreduce(comm.rank)
+            return (sub.size, total)
+
+        vals = run0(prog, 6)
+        assert vals[0] == (3, 0 + 2 + 4)
+        assert vals[1] == (3, 1 + 3 + 5)
+
+    def test_split_none_drops_out(self):
+        def prog(comm):
+            sub = yield from comm.split(color=0 if comm.rank < 2 else None)
+            if sub is None:
+                return "out"
+            return (yield from sub.allgather(comm.rank))
+
+        vals = run0(prog, 4)
+        assert vals == [[0, 1], [0, 1], "out", "out"]
+
+    def test_split_key_reorders(self):
+        def prog(comm):
+            sub = yield from comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        vals = run0(prog, 3)
+        assert vals == [2, 1, 0]
+
+    def test_nested_split(self):
+        def prog(comm):
+            sub = yield from comm.split(color=comm.rank // 2)
+            subsub = yield from sub.split(color=sub.rank)
+            return (yield from subsub.allgather(comm.world_rank))
+
+        vals = run0(prog, 4)
+        assert vals == [[0], [1], [2], [3]]
+
+
+class TestPayloadWords:
+    def test_array_exact(self):
+        assert payload_words(np.zeros(10, dtype=np.float64)) == 10
+
+    def test_scalars(self):
+        assert payload_words(3) == 1
+        assert payload_words(2.5) == 1
+        assert payload_words(None) == 0
+
+    def test_containers_recursive(self):
+        assert payload_words([1, 2, 3]) == 4
+        assert payload_words({"a": 1}) == pytest.approx(3.0)  # dict + key + value
+
+    def test_string(self):
+        assert payload_words("x" * 16) == 2
+
+
+class TestExchange:
+    def test_ring_halo(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            got = yield from comm.exchange({right: comm.rank * 10})
+            return got
+
+        vals = run0(prog, 4)
+        # rank r receives from its left neighbour
+        assert vals[1] == {0: 0}
+        assert vals[0] == {3: 30}
+
+    def test_empty_participation(self):
+        def prog(comm):
+            msgs = {1: "x"} if comm.rank == 0 else {}
+            got = yield from comm.exchange(msgs)
+            return got
+
+        vals = run0(prog, 3)
+        assert vals == [{}, {0: "x"}, {}]
+
+    def test_payload_copied(self):
+        import numpy as np
+
+        def prog(comm):
+            if comm.rank == 0:
+                arr = np.ones(3)
+                got = yield from comm.exchange({1: arr})
+                yield from comm.barrier()
+                return float(arr.sum())
+            got = yield from comm.exchange({0: None})
+            got[0] if False else None
+            yield from comm.barrier()
+            return None
+
+        vals = run0(prog, 2)
+        assert vals[0] == 3.0
+
+    def test_self_send_rejected(self):
+        def prog(comm):
+            yield from comm.exchange({comm.rank: 1})
+
+        with pytest.raises(CommError, match="self"):
+            run0(prog, 2)
+
+    def test_out_of_range_rejected(self):
+        def prog(comm):
+            yield from comm.exchange({7: 1})
+
+        with pytest.raises(CommError, match="out of range"):
+            run0(prog, 2)
+
+    def test_exchange_cost_charged(self):
+        from repro.parallel import MachineModel, run_spmd
+
+        m = MachineModel(alpha=0, t_s=1.0, t_w=1.0)
+
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            yield from comm.exchange({right: None}, words=10)
+            return comm.clock
+
+        res = run_spmd(prog, 2, machine=m)
+        # 1 neighbour * ts + tw * max(10, 10)
+        assert res.values[0] == pytest.approx(11.0)

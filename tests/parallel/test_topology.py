@@ -1,0 +1,56 @@
+"""Unit tests for process-grid topology helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel import ProcessGrid, grid_dims
+
+
+class TestGridDims:
+    @pytest.mark.parametrize(
+        "p,expect",
+        [(1, (1, 1)), (2, (1, 2)), (4, (2, 2)), (8, (2, 4)), (16, (4, 4)),
+         (64, (8, 8)), (1024, (32, 32)), (12, (3, 4)), (7, (1, 7))],
+    )
+    def test_factoring(self, p, expect):
+        assert grid_dims(p) == expect
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            grid_dims(0)
+
+
+class TestProcessGrid:
+    def test_rank_pos_roundtrip(self):
+        g = ProcessGrid(3, 4)
+        for r in range(g.size):
+            assert g.rank_of(*g.pos_of(r)) == r
+
+    def test_square_ish(self):
+        assert ProcessGrid.square_ish(16) == ProcessGrid(4, 4)
+
+    def test_neighbors4_interior_and_corner(self):
+        g = ProcessGrid(3, 3)
+        assert sorted(g.neighbors4(4)) == [1, 3, 5, 7]
+        assert sorted(g.neighbors4(0)) == [1, 3]
+
+    def test_neighbors8(self):
+        g = ProcessGrid(3, 3)
+        assert len(g.neighbors8(4)) == 8
+        assert len(g.neighbors8(0)) == 3
+
+    def test_refine_doubles(self):
+        g = ProcessGrid(2, 3).refine()
+        assert (g.rows, g.cols) == (4, 6)
+
+    def test_parent_position(self):
+        g = ProcessGrid(4, 4)
+        assert g.parent_position(3, 2) == (1, 1)
+        assert g.parent_position(0, 1) == (0, 0)
+
+    def test_bounds_checked(self):
+        g = ProcessGrid(2, 2)
+        with pytest.raises(ConfigError):
+            g.rank_of(2, 0)
+        with pytest.raises(ConfigError):
+            g.pos_of(4)

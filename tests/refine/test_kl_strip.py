@@ -1,0 +1,82 @@
+"""Tests for KL refinement and strip extraction/refinement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import Bisection
+from repro.graph.generators import grid2d, random_delaunay
+from repro.refine import kl_refine, strip_mask, strip_refine
+
+from .test_fm import noisy_grid_bisection
+
+
+class TestKL:
+    def test_improves_noisy_cut(self):
+        b = noisy_grid_bisection(flip=10)
+        res = kl_refine(b)
+        assert res.final_cut <= res.initial_cut
+
+    def test_preserves_part_sizes(self):
+        b = noisy_grid_bisection(flip=10)
+        res = kl_refine(b)
+        # swaps keep sizes identical for unit weights
+        assert res.bisection.part_sizes == b.part_sizes
+
+    def test_no_improvement_on_optimal(self):
+        g = grid2d(6, 6).graph
+        side = (np.arange(36) % 6 >= 3).astype(np.int8)
+        res = kl_refine(Bisection(g, side))
+        assert res.final_cut == 6
+
+    def test_result_counts(self):
+        b = noisy_grid_bisection(flip=16)
+        res = kl_refine(b)
+        assert res.passes >= 1
+        assert res.swaps >= 0
+
+
+class TestStrip:
+    def geometric_bisection(self, n=800, seed=3):
+        g, pts = random_delaunay(n, seed=seed)
+        sdist = pts[:, 0] - np.median(pts[:, 0])
+        side = (sdist > 0).astype(np.int8)
+        return Bisection(g, side), sdist
+
+    def test_strip_mask_size(self):
+        b, sdist = self.geometric_bisection()
+        mask = strip_mask(sdist, b, factor=4.0)
+        sep = b.boundary_vertices().shape[0]
+        assert mask.sum() >= min(4 * sep, b.graph.num_vertices)
+        # strip is a small fraction of the graph
+        assert mask.sum() < 0.6 * b.graph.num_vertices
+
+    def test_strip_contains_boundary(self):
+        b, sdist = self.geometric_bisection()
+        mask = strip_mask(sdist, b, factor=2.0)
+        assert mask[b.boundary_vertices()].all()
+
+    def test_strip_mask_validation(self):
+        b, sdist = self.geometric_bisection()
+        with pytest.raises(PartitionError):
+            strip_mask(sdist[:-1], b)
+        with pytest.raises(PartitionError):
+            strip_mask(sdist, b, factor=0)
+
+    def test_strip_refine_improves(self):
+        b, sdist = self.geometric_bisection()
+        res = strip_refine(b, sdist, factor=6.0)
+        assert res.final_cut <= res.initial_cut
+        assert res.strip_size >= res.separator_vertices
+
+    def test_strip_factor_reported(self):
+        b, sdist = self.geometric_bisection()
+        res = strip_refine(b, sdist, factor=5.0)
+        assert res.strip_factor >= 1.0
+
+    def test_only_strip_vertices_move(self):
+        b, sdist = self.geometric_bisection()
+        mask = strip_mask(sdist, b, factor=6.0)
+        res = strip_refine(b, sdist, factor=6.0)
+        changed = res.bisection.side != b.side
+        assert not changed[~mask].any()

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import grid2d, random_delaunay
+from repro.graph.io import write_coords, write_metis
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = grid2d(12, 12).graph
+    p = tmp_path / "g.graph"
+    write_metis(g, p)
+    return str(p), g
+
+
+class TestInfo:
+    def test_prints_stats(self, graph_file, capsys):
+        path, g = graph_file
+        assert main(["info", path]) == 0
+        out = capsys.readouterr().out
+        assert "144" in out
+        assert "connected     : True" in out
+
+
+class TestPartition:
+    def test_bisection_to_file(self, graph_file, tmp_path):
+        path, g = graph_file
+        out = tmp_path / "g.part"
+        rc = main(["partition", path, "--method", "parmetis",
+                   "--out", str(out), "--seed", "1"])
+        assert rc == 0
+        parts = np.array([int(x) for x in out.read_text().split()])
+        assert parts.shape == (144,)
+        assert set(np.unique(parts)) == {0, 1}
+
+    def test_kway(self, graph_file, tmp_path):
+        path, g = graph_file
+        out = tmp_path / "g.part4"
+        rc = main(["partition", path, "--method", "parmetis", "--k", "4",
+                   "--out", str(out), "--seed", "2"])
+        assert rc == 0
+        parts = np.array([int(x) for x in out.read_text().split()])
+        assert len(np.unique(parts)) == 4
+
+    def test_rcb_with_coords(self, tmp_path):
+        g, pts = random_delaunay(200, seed=3)
+        gp = tmp_path / "d.graph"
+        cp = tmp_path / "d.xy"
+        write_metis(g, gp)
+        write_coords(pts, cp)
+        out = tmp_path / "d.part"
+        rc = main(["partition", str(gp), "--method", "rcb",
+                   "--coords", str(cp), "--out", str(out)])
+        assert rc == 0
+        parts = [int(x) for x in out.read_text().split()]
+        assert abs(sum(parts) - 100) <= 1  # balanced bisection
+
+    def test_coords_mismatch_errors(self, graph_file, tmp_path):
+        path, g = graph_file
+        cp = tmp_path / "bad.xy"
+        write_coords(np.zeros((3, 2)), cp)
+        rc = main(["partition", path, "--method", "rcb", "--coords", str(cp)])
+        assert rc == 2
+
+    def test_stdout_output(self, graph_file, capsys):
+        path, g = graph_file
+        assert main(["partition", path, "--method", "spectral"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 144
+
+
+class TestEmbed:
+    def test_writes_coordinates(self, graph_file, tmp_path):
+        path, g = graph_file
+        out = tmp_path / "g.xy"
+        rc = main(["embed", path, "--out", str(out), "--seed", "4"])
+        assert rc == 0
+        coords = np.loadtxt(out)
+        assert coords.shape == (144, 2)
+        assert np.isfinite(coords).all()

@@ -1,0 +1,89 @@
+"""Tests for the rng utilities, error hierarchy and trace records."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.parallel.trace import PhaseBreakdown, SpmdResult
+from repro.rng import as_generator, derive_seed, permutation, spawn_streams
+
+
+class TestRng:
+    def test_as_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_as_generator_from_int(self):
+        a = as_generator(42).random()
+        b = as_generator(42).random()
+        assert a == b
+
+    def test_spawn_streams_independent(self):
+        streams = spawn_streams(7, 4)
+        vals = [s.random() for s in streams]
+        assert len(set(vals)) == 4
+
+    def test_spawn_streams_deterministic(self):
+        a = [s.random() for s in spawn_streams(7, 3)]
+        b = [s.random() for s in spawn_streams(7, 3)]
+        assert a == b
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn_streams(1, -1)
+
+    def test_derive_seed_stable_and_salted(self):
+        assert derive_seed(5, 1) == derive_seed(5, 1)
+        assert derive_seed(5, 1) != derive_seed(5, 2)
+        assert derive_seed(None, 1) == derive_seed(None, 1)
+
+    def test_permutation(self):
+        p = permutation(3, 10)
+        assert sorted(p.tolist()) == list(range(10))
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.GraphError,
+            errors.PartitionError,
+            errors.EmbeddingError,
+            errors.GeometryError,
+            errors.CommError,
+            errors.ConfigError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_deadlock_is_comm_error(self):
+        assert issubclass(errors.DeadlockError, errors.CommError)
+
+
+class TestTrace:
+    def test_phase_breakdown_elapsed(self):
+        ph = PhaseBreakdown(np.array([1.0, 2.0]), np.array([0.5, 1.0]))
+        assert ph.elapsed == 3.0
+        assert ph.comm_fraction == pytest.approx(1.0 / 3.0)
+
+    def test_phase_breakdown_empty(self):
+        ph = PhaseBreakdown(np.zeros(0), np.zeros(0))
+        assert ph.elapsed == 0.0
+        assert ph.comm_fraction == 0.0
+
+    def test_spmd_result_accessors(self):
+        res = SpmdResult(
+            values=[1, 2],
+            clocks=np.array([1.0, 3.0]),
+            comp_time=np.array([1.0, 2.0]),
+            comm_time=np.array([0.0, 1.0]),
+            phases={"main": PhaseBreakdown(np.array([1.0, 2.0]), np.array([0.0, 1.0]))},
+        )
+        assert res.nranks == 2
+        assert res.elapsed == 3.0
+        # critical-path rank is rank 1 (clock 3.0): comm/clock = 1/3
+        assert res.comm_fraction == pytest.approx(1.0 / 3.0)
+        assert res.phase_elapsed("main") == 3.0
+        assert res.phase("missing").elapsed == 0.0
+        assert "P=2" in res.summary()
