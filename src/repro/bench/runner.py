@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -55,6 +55,10 @@ class RunRecord:
     simulated: bool
     stage_seconds: Dict[str, float]
     phase_comm: Dict[str, float]
+    #: completed collective operations by kind (empty for sequential runs)
+    collective_ops: Dict[str, int] = field(default_factory=dict)
+    #: words moved (point-to-point + collective contributions)
+    total_words: float = 0.0
 
     @property
     def key(self) -> str:
@@ -77,7 +81,7 @@ METHODS = {
 
 
 def _cache_key(method: str, graph: str, p: int) -> str:
-    raw = f"{method}|{graph}|{p}|{BENCH_SCALE}|{BENCH_SEED}|v4"
+    raw = f"{method}|{graph}|{p}|{BENCH_SCALE}|{BENCH_SEED}|v5"
     return hashlib.sha1(raw.encode()).hexdigest()[:20]
 
 
@@ -123,6 +127,7 @@ def run_method(method: str, graph_name: str, p: int = 1,
         _MEMO[key] = rec
         return rec
     res = _execute(method, graph_name, p)
+    stats = res.extras.get("comm_stats")
     rec = RunRecord(
         method=method,
         graph=graph_name,
@@ -135,6 +140,11 @@ def run_method(method: str, graph_name: str, p: int = 1,
         phase_comm={
             k: float(v) for k, v in res.extras.get("phase_comm", {}).items()
         },
+        collective_ops=(
+            {k: int(v) for k, v in sorted(stats.collective_ops.items())}
+            if stats is not None else {}
+        ),
+        total_words=float(stats.total_words) if stats is not None else 0.0,
     )
     if use_cache:
         _CACHE_DIR.mkdir(exist_ok=True)

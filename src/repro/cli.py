@@ -7,6 +7,7 @@ partitioned without writing Python::
     python -m repro partition mesh.graph --method rcb --coords mesh.xy
     python -m repro info mesh.graph
     python -m repro embed mesh.graph --out mesh.xy
+    python -m repro trace mesh.graph --nranks 64 --profile mesh.trace.jsonl
 
 The partition file contains one part id per line (METIS ``.part``
 convention), so the output drops into existing tool chains.
@@ -24,11 +25,20 @@ import numpy as np
 from .baselines.multilevel import parmetis_like, scotch_like
 from .baselines.rcb import rcb_bisect
 from .baselines.spectral import spectral_bisect
+from .core.config import ScalaPartConfig
+from .core.parallel import (
+    parmetis_parallel,
+    rcb_parallel,
+    scalapart_parallel,
+    scotch_parallel,
+    sp_pg7_nl_parallel,
+)
 from .core.recursive import recursive_bisection
 from .core.scalapart import scalapart, sp_pg7_nl
 from .embed.multilevel import hu_layout, multilevel_embedding
 from .errors import ReproError
 from .graph.io import read_coords, read_metis, write_coords
+from .parallel.trace import SpmdResult, write_trace_jsonl
 
 __all__ = ["main"]
 
@@ -39,6 +49,15 @@ _METHODS = {
     "scotch": (scotch_like, False),
     "rcb": (rcb_bisect, True),
     "spectral": (spectral_bisect, False),
+}
+
+#: method -> needs_coords, for the simulated-parallel ``trace`` command.
+_TRACE_METHODS = {
+    "scalapart": False,
+    "sp-pg7-nl": True,
+    "parmetis": False,
+    "scotch": False,
+    "rcb": True,
 }
 
 
@@ -67,6 +86,24 @@ def _build_parser() -> argparse.ArgumentParser:
 
     i = sub.add_parser("info", help="print graph statistics")
     i.add_argument("graph")
+
+    t = sub.add_parser(
+        "trace",
+        help="run a method on P virtual ranks and report the "
+             "communication profile",
+    )
+    t.add_argument("graph", help="input graph (METIS format)")
+    t.add_argument("--method", default="scalapart",
+                   choices=sorted(_TRACE_METHODS))
+    t.add_argument("--nranks", type=int, default=16,
+                   help="virtual ranks to simulate")
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--coords", help="coordinate file for rcb/sp-pg7-nl "
+                                    "(default: compute a Hu layout)")
+    t.add_argument("--block-size", type=int, default=None,
+                   help="β-refresh block size (ScalaPart ablation knob)")
+    t.add_argument("--profile", metavar="PATH",
+                   help="write the full JSONL trace here")
     return ap
 
 
@@ -135,6 +172,55 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _print_trace_report(res: SpmdResult, method: str) -> None:
+    stats = res.comm_stats
+    print(f"method={method} nranks={res.nranks} "
+          f"simulated_seconds={res.elapsed:.6f} "
+          f"comm_fraction={res.comm_fraction:.3f}")
+    if stats is not None:
+        print(f"total: {stats.summary()}")
+        print(f"global collectives: {stats.collective_invocations()}")
+    header = (f"{'phase':<20} {'elapsed_ms':>11} {'comm%':>6} "
+              f"{'msgs':>8} {'words':>12} {'colls':>6} {'wait_ms':>9}")
+    print(header)
+    for name in sorted(res.phases):
+        ph = res.phases[name]
+        cs = res.phase_comm_stats(name)
+        print(f"{name:<20} {ph.elapsed * 1e3:>11.4f} "
+              f"{100 * ph.comm_fraction:>6.1f} "
+              f"{cs.total_messages:>8d} {cs.total_words:>12.0f} "
+              f"{cs.collective_invocations():>6d} "
+              f"{cs.total_wait * 1e3:>9.4f}")
+
+
+def _cmd_trace(args) -> int:
+    graph = read_metis(args.graph)
+    needs_coords = _TRACE_METHODS[args.method]
+    coords = _load_coords(args, graph) if needs_coords else None
+    cfg = ScalaPartConfig()
+    if args.block_size is not None:
+        cfg = ScalaPartConfig(block_size=args.block_size)
+    if args.method == "scalapart":
+        res = scalapart_parallel(graph, args.nranks, cfg, seed=args.seed)
+    elif args.method == "sp-pg7-nl":
+        res = sp_pg7_nl_parallel(graph, coords, args.nranks, cfg,
+                                 seed=args.seed)
+    elif args.method == "parmetis":
+        res = parmetis_parallel(graph, args.nranks, seed=args.seed)
+    elif args.method == "scotch":
+        res = scotch_parallel(graph, args.nranks, seed=args.seed)
+    else:
+        res = rcb_parallel(graph, coords, args.nranks)
+    trace: SpmdResult = res.extras["trace"]
+    _print_trace_report(trace, res.method)
+    print(f"cut={res.bisection.cut_size} "
+          f"imbalance={res.bisection.imbalance:.4f}", file=sys.stderr)
+    if args.profile:
+        write_trace_jsonl(trace, args.profile)
+        print(f"# trace written to {args.profile}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -144,6 +230,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_embed(args)
         if args.command == "info":
             return _cmd_info(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -85,6 +85,7 @@ def dist_matching_round(comm: Comm, graph: CSRGraph, matched: np.ndarray,
     """One mutual-proposal round; updates ``matched``/``match`` in place
     (identical on every rank after the round's exchanges)."""
     n = graph.num_vertices
+    comm.set_phase("coarsen/match")
     starts = block_starts(n, comm.size)
     lo, hi = block_of(starts, comm.rank)
     local_prop = _local_proposals(graph, lo, hi, matched, salt)
@@ -129,6 +130,7 @@ def _dist_contract(comm: Comm, graph: CSRGraph, match: np.ndarray):
     result broadcast carries the coarse graph's redistribution volume.
     """
     n = graph.num_vertices
+    comm.set_phase("coarsen/contract")
     starts = block_starts(n, comm.size)
     lo, hi = block_of(starts, comm.rank)
     comm.charge(float(graph.indptr[hi] - graph.indptr[lo]) + (hi - lo))
@@ -209,6 +211,7 @@ def dist_build_hierarchy(
             active = sub  # None for folded-out ranks: they exit the loop
     # synchronise the hierarchy across the full communicator (folded-out
     # ranks have a stale prefix); rank 0 is active at every level
+    comm.set_phase("coarsen/share")
     payload = (graphs, cmaps) if comm.rank == 0 else None
     full = yield from share_from_root(comm, payload, words=float(len(graphs) * 4))
     return full

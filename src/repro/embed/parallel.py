@@ -187,6 +187,7 @@ def _smooth_level(
     """Fixed-lattice smoothing of one level; returns the level's final
     full coordinate array (shared, identical on all ranks)."""
     n = graph.num_vertices
+    comm.set_phase("embed/smooth")
     setup = _setup_level(comm, graph, pos_full, owner, grid)
     p = comm.size
 
@@ -201,7 +202,9 @@ def _smooth_level(
             ).sum(axis=0) / m
         return table
 
+    comm.set_phase("embed/refresh")
     stats = yield from comm.allreduce(local_stats(), words=3.0 * p)
+    comm.set_phase("embed/smooth")
     # Fixed geometric cooling instead of Hu's adaptive schedule: the
     # adaptive rule needs the *global* force energy every iteration — a
     # reduction the paper's block structure explicitly avoids (global
@@ -211,6 +214,7 @@ def _smooth_level(
 
     for it in range(iters):
         # ---- halo exchange: boundary coordinates to grid neighbours ----
+        comm.set_phase("embed/halo")
         if setup.near_send or setup.near_recv:
             out = {
                 b: setup.pos_own[idx] for b, idx in setup.near_send.items()
@@ -227,9 +231,11 @@ def _smooth_level(
                 setup.pos_ghost[slots] = payload
         elif p > 1:
             yield from comm.exchange({})
+        comm.set_phase("embed/smooth")
 
         # ---- per-block refresh: far ghosts + β table -------------------
         if it % block_size == 0:
+            comm.set_phase("embed/refresh")
             if setup.far_slots.size or p > 1:
                 full = yield from _gather_full_pos(
                     comm, setup, n, words_out=2.0 * max(1, setup.far_slots.size)
@@ -237,6 +243,7 @@ def _smooth_level(
                 if setup.far_slots.size:
                     setup.pos_ghost[setup.far_slots] = full[setup.far_ids]
             stats = yield from comm.allreduce(local_stats(), words=3.0 * p)
+            comm.set_phase("embed/smooth")
         else:
             # own row stays current locally (paper: each processor
             # independently calculates its φ and μ every iteration)
@@ -265,6 +272,7 @@ def _smooth_level(
         setup.pos_own[active] += f[active] / norms[active, None] * step
         step *= _T
 
+    comm.set_phase("embed/gather")
     full = yield from _gather_full_pos(comm, setup, n)
     return full
 
@@ -307,6 +315,7 @@ def dist_multilevel_embedding(
     ]
 
     # ---- coarsest embedding (small rank group) -------------------------
+    comm.set_phase("embed/coarsest")
     coarsest = graphs[-1]
     nk = coarsest.num_vertices
     pk = p_at[-1]
@@ -340,7 +349,9 @@ def dist_multilevel_embedding(
         )
 
     # ---- uncoarsen: project + smooth -----------------------------------
+    total_smooth_iters = 0
     for level in range(nlevels - 2, -1, -1):
+        comm.set_phase("embed/project")
         g = graphs[level]
         n = g.num_vertices
         p_lvl = min(p_at[level], n) or 1
@@ -364,13 +375,20 @@ def dist_multilevel_embedding(
         # counts for smoothing" — the finer lattice (more β cells) makes
         # each iteration more accurate, so the schedule tapers with P
         level_iters = max(6, smooth_iters - int(math.log2(max(1, p_lvl))))
+        total_smooth_iters += level_iters
         if sub is not None:
             pos = yield from _smooth_level(
                 sub, g, proj, owner, grid,
                 iters=level_iters, block_size=block_size, c=c,
             )
         # deliver the level result to the idle ranks as well
+        comm.set_phase("embed/gather")
         pos = yield from share_from_root(comm, pos if comm.rank == 0 else None,
                                          words=1.0)
-    info = {"levels": nlevels, "sizes": [g.num_vertices for g in graphs]}
+    comm.set_phase("embed")
+    info = {
+        "levels": nlevels,
+        "sizes": [g.num_vertices for g in graphs],
+        "smooth_iterations": total_smooth_iters,
+    }
     return pos, info

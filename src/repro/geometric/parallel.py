@@ -70,6 +70,7 @@ def dist_sp_pg7_nl(
     owned = np.arange(lo, hi, dtype=np.int64)
 
     # ---- sampled centerpoint & conformal map (redundant per rank) ----
+    comm.set_phase("partition/sample")
     rng = np.random.default_rng(derive_seed(seed, 0xD157))
     per_rank = max(4, cfg.centerpoint_sample // p)
     take = min(per_rank, owned.shape[0])
@@ -104,6 +105,7 @@ def dist_sp_pg7_nl(
     sval_own = own_u @ normals.T  # (n_own, ncircles)
     comm.charge(float(hi - lo) * cfg.ncircles * 3)
 
+    comm.set_phase("partition/select")
     # Balanced thresholds via a global histogram reduction per candidate.
     # No min/max pre-reduction is needed: the projections are dot
     # products of unit vectors, so every value lies in [-1, 1] — which
@@ -153,6 +155,7 @@ def dist_sp_pg7_nl(
     best = int(np.argmin(order))
 
     # ---- assemble the winning side + strip refinement at the root ----
+    comm.set_phase("partition/strip")
     sd_own = sval_own[:, best] - thresholds[best]
     sd_full = yield from allgather_concat(comm, sd_own)
     side = (sd_full > 0).astype(np.int8)
@@ -180,4 +183,5 @@ def dist_sp_pg7_nl(
     side_final, info = (yield from share_from_root(
         comm, result, words=cfg.strip_factor * sep_guess / max(1.0, math.log2(p) if p > 1 else 1.0)
     ))
+    comm.set_phase("partition")
     return side_final, info

@@ -3,7 +3,15 @@
 from .engine import Comm, payload_words, run_spmd
 from .machine import MachineModel, QDR_CLUSTER, ZERO_COST
 from .topology import ProcessGrid, grid_dims
-from .trace import PhaseBreakdown, SpmdResult
+from .trace import (
+    CommStats,
+    GLOBAL_COLLECTIVES,
+    PhaseBreakdown,
+    SpmdResult,
+    read_trace_jsonl,
+    trace_records,
+    write_trace_jsonl,
+)
 
 __all__ = [
     "Comm",
@@ -15,5 +23,10 @@ __all__ = [
     "ProcessGrid",
     "grid_dims",
     "PhaseBreakdown",
+    "CommStats",
+    "GLOBAL_COLLECTIVES",
     "SpmdResult",
+    "read_trace_jsonl",
+    "trace_records",
+    "write_trace_jsonl",
 ]

@@ -55,7 +55,7 @@ import numpy as np
 from ..errors import CommError, DeadlockError
 from ..rng import SeedLike, spawn_streams
 from .machine import MachineModel, QDR_CLUSTER
-from .trace import DEFAULT_PHASE, PhaseBreakdown, SpmdResult
+from .trace import CommStats, DEFAULT_PHASE, PhaseBreakdown, SpmdResult
 
 __all__ = ["Comm", "run_spmd", "payload_words"]
 
@@ -340,6 +340,7 @@ class _Engine:
         self.messages = 0
         self.collectives = 0
         self.words_sent = 0.0
+        self.stats: Dict[str, CommStats] = {}
 
     # -- accounting ----------------------------------------------------------
     def _phase_arrays(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
@@ -365,6 +366,14 @@ class _Engine:
 
     def set_phase(self, grank: int, name: str) -> None:
         self.phase[grank] = name
+
+    def stats_for(self, grank: int) -> CommStats:
+        """Comm counters of the phase ``grank`` is currently in."""
+        name = self.phase[grank]
+        s = self.stats.get(name)
+        if s is None:
+            s = self.stats[name] = CommStats.zeros(self.nranks)
+        return s
 
     def new_group(self, members: Sequence[int]) -> _Group:
         g = _Group(self._next_cid, tuple(members))
@@ -435,6 +444,7 @@ def run_spmd(
         messages=eng.messages,
         collectives=eng.collectives,
         words_sent=eng.words_sent,
+        comm_stats=CommStats.aggregate(eng.stats, nranks),
     )
 
 
@@ -474,9 +484,12 @@ def _do_send(eng: _Engine, grank: int, op: _Op) -> None:
     eng.charge_comm(grank, eng.machine.t_s)
     arrival = t_post + eng.machine.message_cost(words)
     key = (grank, gdst, op.tag, op.cid)
-    eng.mailbox.setdefault(key, deque()).append((arrival, _copy_payload(op.value)))
+    eng.mailbox.setdefault(key, deque()).append((arrival, words, _copy_payload(op.value)))
     eng.messages += 1
     eng.words_sent += words
+    stats = eng.stats_for(grank)
+    stats.sends[grank] += 1
+    stats.words_sent[grank] += words
 
 
 def _complete_recvs(eng: _Engine, states: List[_RankState], ready: deque) -> bool:
@@ -494,7 +507,15 @@ def _complete_recvs(eng: _Engine, states: List[_RankState], ready: deque) -> boo
         q = eng.mailbox.get(key)
         if not q:
             continue
-        arrival, payload = q.popleft()
+        arrival, words, payload = q.popleft()
+        stats = eng.stats_for(st.grank)
+        stats.recvs[st.grank] += 1
+        stats.words_received[st.grank] += words
+        # idle time: the receiver sat parked before the sender even
+        # posted; the transfer itself is the modelled message cost
+        wait = arrival - float(eng.clocks[st.grank]) - eng.machine.message_cost(words)
+        if wait > 0:
+            stats.wait_time[st.grank] += wait
         eng.advance_to(st.grank, arrival)
         st.send_value = payload
         st.op = None
@@ -528,6 +549,7 @@ def _complete_collectives(eng: _Engine, states: List[_RankState], ready: deque) 
             roots = {s.op.root for s in parked}
             if len(roots) != 1:
                 raise CommError(f"mismatched roots in {kind} on comm {cid}: {roots}")
+        _count_collective(eng, kind, parked)
         _run_collective(eng, group, kind, parked)
         for st in parked:
             st.op = None
@@ -536,6 +558,31 @@ def _complete_collectives(eng: _Engine, states: List[_RankState], ready: deque) 
         progress = True
         eng.collectives += 1
     return progress
+
+
+def _count_collective(eng: _Engine, kind: str, parked: List[_RankState]) -> None:
+    """Book one collective into the comm ledger (before clocks move).
+
+    Every member rank's per-phase ``collectives[kind]`` counter bumps by
+    one, its contributed payload is added to ``collective_words``, and
+    the skew it absorbed waiting for the slowest member is booked as
+    wait time.  The operation itself is counted once (``collective_ops``)
+    in the phase of the communicator's first member.
+    """
+    t0 = max(float(eng.clocks[s.grank]) for s in parked)
+    for s in parked:
+        g = s.grank
+        stats = eng.stats_for(g)
+        stats._coll_array(kind)[g] += 1
+        w = s.op.words
+        if w is None:
+            w = payload_words(s.op.value)
+        stats.collective_words[g] += w
+        wait = t0 - float(eng.clocks[g])
+        if wait > 0:
+            stats.wait_time[g] += wait
+    first = eng.stats_for(parked[0].grank)
+    first.collective_ops[kind] = first.collective_ops.get(kind, 0) + 1
 
 
 def _run_collective(eng: _Engine, group: _Group, kind: str, parked: List[_RankState]) -> None:

@@ -60,3 +60,15 @@ class TestSpectralBisect:
         raw = spectral_bisect(g, seed=5, refine=False)
         ref = spectral_bisect(g, seed=5, refine=True)
         assert ref.cut_size <= raw.cut_size
+
+    def test_no_convergence_warning_leaks(self):
+        # lobpcg's stopped-at-maxiter UserWarning is silenced inside
+        # fiedler_vector; CI runs with -W error::UserWarning, so a leak
+        # here would fail the whole suite
+        import warnings
+
+        g = random_delaunay(800, seed=6).graph
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UserWarning)
+            res = spectral_bisect(g, seed=7)
+        assert res.cut_size > 0

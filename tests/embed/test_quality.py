@@ -1,0 +1,104 @@
+"""Unit tests for the embedding-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.embed.quality import (
+    EdgeLengthStats,
+    crossing_proxy,
+    edge_length_stats,
+    neighborhood_preservation,
+    normalized_stress,
+)
+from repro.errors import EmbeddingError
+from repro.graph.generators import grid2d, path_graph
+
+
+def _path(n):
+    g = path_graph(n).graph
+    pos = np.zeros((n, 2))
+    pos[:, 0] = np.arange(n, dtype=float)
+    return g, pos
+
+
+class TestEdgeLengthStats:
+    def test_uniform_path_has_zero_cv(self):
+        g, pos = _path(10)
+        stats = edge_length_stats(g, pos)
+        assert stats.mean == pytest.approx(1.0)
+        assert stats.std == pytest.approx(0.0)
+        assert stats.cv == 0.0
+
+    def test_nonuniform_lengths(self):
+        g, pos = _path(3)
+        pos[2, 0] = 4.0  # edges now 1 and 3
+        stats = edge_length_stats(g, pos)
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.std == pytest.approx(1.0)
+        assert stats.cv == pytest.approx(0.5)
+
+    def test_zero_mean_guard(self):
+        assert EdgeLengthStats(0.0, 0.0).cv == 0.0
+
+    def test_edgeless_graph(self):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph.empty(4)
+        stats = edge_length_stats(g, np.zeros((4, 2)))
+        assert (stats.mean, stats.std) == (0.0, 0.0)
+
+    def test_shape_mismatch_raises(self):
+        g, _ = _path(5)
+        with pytest.raises(EmbeddingError, match="pos"):
+            edge_length_stats(g, np.zeros((4, 2)))
+
+
+class TestNeighborhoodPreservation:
+    def test_true_grid_layout_is_perfect(self):
+        gg = grid2d(6, 6)
+        g = gg.graph
+        xs, ys = np.meshgrid(np.arange(6.0), np.arange(6.0), indexing="ij")
+        pos = np.column_stack([xs.ravel(), ys.ravel()])
+        score = neighborhood_preservation(g, pos, seed=0)
+        assert score >= 0.9
+
+    def test_random_layout_is_poor(self):
+        gg = grid2d(8, 8)
+        pos = np.random.default_rng(0).random((64, 2))
+        score = neighborhood_preservation(gg.graph, pos, seed=0)
+        assert score < 0.5
+
+    def test_tiny_graph_trivially_perfect(self):
+        g, pos = _path(2)
+        assert neighborhood_preservation(g, pos) == 1.0
+
+
+class TestNormalizedStress:
+    def test_linear_path_embedding_has_no_stress(self):
+        g, pos = _path(20)
+        assert normalized_stress(g, pos, seed=1) == pytest.approx(0.0, abs=1e-12)
+
+    def test_scale_invariant(self):
+        gg = grid2d(5, 5)
+        pos = np.random.default_rng(2).random((25, 2))
+        a = normalized_stress(gg.graph, pos, seed=3)
+        b = normalized_stress(gg.graph, 100.0 * pos, seed=3)
+        assert a == pytest.approx(b)
+
+    def test_folded_embedding_is_worse(self):
+        g, pos = _path(20)
+        folded = pos.copy()
+        folded[:, 0] = np.abs(folded[:, 0] - 9.5)  # fold the line in half
+        assert normalized_stress(g, folded, seed=1) > normalized_stress(
+            g, pos, seed=1
+        )
+
+
+class TestCrossingProxy:
+    def test_path_value(self):
+        g, pos = _path(11)
+        assert crossing_proxy(g, pos) == pytest.approx(1.0 / 10.0)
+
+    def test_degenerate_layout(self):
+        g, _ = _path(5)
+        assert crossing_proxy(g, np.zeros((5, 2))) == 0.0

@@ -1,0 +1,106 @@
+"""Unit tests for separator candidates and their batched evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometric.circles import (
+    circle_candidates,
+    evaluate_cuts,
+    line_candidates,
+    median_split,
+    random_unit_vectors,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid2d
+from repro.graph.partition import Bisection
+
+
+class TestRandomUnitVectors:
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_unit_norm(self, dim):
+        v = random_unit_vectors(np.random.default_rng(0), 50, dim)
+        assert v.shape == (50, dim)
+        np.testing.assert_allclose(np.linalg.norm(v, axis=1), 1.0)
+
+    def test_deterministic_for_seeded_rng(self):
+        a = random_unit_vectors(np.random.default_rng(7), 5, 3)
+        b = random_unit_vectors(np.random.default_rng(7), 5, 3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMedianSplit:
+    def test_balanced_up_to_one_vertex(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=101)
+        side, sdist = median_split(values, np.ones(101))
+        assert abs(int(side.sum()) * 2 - 101) <= 1
+        # side 1 is the upper half: its minimum value exceeds side 0's max
+        assert values[side == 1].min() >= values[side == 0].max()
+        # sdist is values minus the split value
+        assert np.all(sdist[side == 1] >= 0)
+
+    def test_ties_stay_balanced(self):
+        values = np.zeros(10)
+        side, _ = median_split(values, np.ones(10))
+        assert int(side.sum()) == 5
+
+    def test_weighted_median(self):
+        values = np.array([0.0, 1.0, 2.0, 3.0])
+        weights = np.array([10.0, 1.0, 1.0, 1.0])
+        side, _ = median_split(values, weights)
+        # the heavy first element alone is half the weight
+        np.testing.assert_array_equal(side, [0, 1, 1, 1])
+
+    def test_empty_input(self):
+        side, sdist = median_split(np.zeros(0), np.zeros(0))
+        assert side.shape == (0,) and sdist.shape == (0,)
+
+
+class TestCandidates:
+    def test_circle_candidates_balanced(self):
+        rng = np.random.default_rng(2)
+        u = random_unit_vectors(rng, 80, 3)
+        cands = circle_candidates(u, np.ones(80), 6, rng)
+        assert len(cands) == 6
+        for c in cands:
+            assert c.kind == "circle"
+            assert int(c.side.sum()) == 40
+            assert np.all((c.sdist > 0) == (c.side == 1)) or np.all(
+                (c.sdist >= 0) == (c.side == 1)
+            )
+
+    def test_circle_candidates_need_3d(self):
+        with pytest.raises(GeometryError, match="3"):
+            circle_candidates(np.zeros((4, 2)), np.ones(4), 1,
+                              np.random.default_rng(0))
+
+    def test_line_candidates_balanced(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((60, 2))
+        cands = line_candidates(pts, np.ones(60), 4, rng)
+        assert len(cands) == 4
+        for c in cands:
+            assert c.kind == "line"
+            assert int(c.side.sum()) == 30
+
+    def test_line_candidates_need_2d(self):
+        with pytest.raises(GeometryError, match="2"):
+            line_candidates(np.zeros((4, 3)), np.ones(4), 1,
+                            np.random.default_rng(0))
+
+
+class TestEvaluateCuts:
+    def test_matches_bisection_cut_weight(self):
+        gg = grid2d(6, 6)
+        g = gg.graph
+        rng = np.random.default_rng(4)
+        cands = line_candidates(gg.coords, g.vwgt, 8, rng)
+        cuts = evaluate_cuts(g, cands)
+        assert cuts.shape == (8,)
+        for c, cut in zip(cands, cuts):
+            assert cut == pytest.approx(Bisection(g, c.side).cut_weight)
+
+    def test_empty_candidate_list(self):
+        g = CSRGraph.empty(3)
+        assert evaluate_cuts(g, []).shape == (0,)

@@ -1,0 +1,107 @@
+"""Unit tests for the block-distribution helpers and Shared references."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.distributed import (
+    Shared,
+    adjacency_slots,
+    block_of,
+    block_starts,
+    owner_by_block,
+)
+from repro.graph.generators import grid2d, star_graph
+from repro.parallel import ZERO_COST, payload_words, run_spmd
+
+
+class TestBlockStarts:
+    @pytest.mark.parametrize("n,p", [(10, 3), (7, 7), (5, 8), (0, 2), (100, 1)])
+    def test_partition_covers_range(self, n, p):
+        starts = block_starts(n, p)
+        assert starts.shape == (p + 1,)
+        assert starts[0] == 0 and starts[-1] == n
+        sizes = np.diff(starts)
+        assert sizes.min() >= 0
+        assert sizes.max() - max(sizes.min(), 0) <= 1
+
+    def test_first_ranks_get_extra(self):
+        starts = block_starts(10, 3)
+        np.testing.assert_array_equal(np.diff(starts), [4, 3, 3])
+
+    def test_invalid_p(self):
+        with pytest.raises(GraphError):
+            block_starts(5, 0)
+
+    def test_block_of_matches_starts(self):
+        starts = block_starts(11, 4)
+        spans = [block_of(starts, r) for r in range(4)]
+        assert spans[0][0] == 0 and spans[-1][1] == 11
+        for (_, hi), (lo, _) in zip(spans, spans[1:]):
+            assert hi == lo
+
+
+class TestOwnerByBlock:
+    def test_inverse_of_block_of(self):
+        n, p = 23, 5
+        starts = block_starts(n, p)
+        owners = owner_by_block(starts, np.arange(n))
+        for r in range(p):
+            lo, hi = block_of(starts, r)
+            np.testing.assert_array_equal(owners[lo:hi], r)
+
+    def test_scalar_like_input(self):
+        starts = block_starts(10, 2)
+        assert owner_by_block(starts, np.array([0]))[0] == 0
+        assert owner_by_block(starts, np.array([9]))[0] == 1
+
+
+class TestAdjacencySlots:
+    def test_matches_per_vertex_neighbors(self):
+        g = grid2d(4, 4).graph
+        verts = np.array([0, 5, 10], dtype=np.int64)
+        src_pos, src, dst, w = adjacency_slots(g, verts)
+        assert src_pos.shape == src.shape == dst.shape == w.shape
+        for i, v in enumerate(verts):
+            mine = dst[src_pos == i]
+            np.testing.assert_array_equal(np.sort(mine),
+                                          np.sort(g.neighbors(int(v))))
+            np.testing.assert_array_equal(src[src_pos == i], v)
+
+    def test_weights_align_with_dst(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)], weights=[2.0, 5.0])
+        _, _, dst, w = adjacency_slots(g, np.array([1]))
+        got = dict(zip(dst.tolist(), w.tolist()))
+        assert got == {0: 2.0, 2: 5.0}
+
+    def test_empty_subset(self):
+        g = grid2d(3, 3).graph
+        src_pos, src, dst, w = adjacency_slots(g, np.zeros(0, dtype=np.int64))
+        assert src_pos.size == src.size == dst.size == w.size == 0
+
+    def test_isolated_vertices(self):
+        g = star_graph(5).graph  # vertex 0 is the hub
+        src_pos, src, dst, _ = adjacency_slots(g, np.array([1, 2]))
+        np.testing.assert_array_equal(dst, [0, 0])
+        np.testing.assert_array_equal(src, [1, 2])
+
+
+class TestShared:
+    def test_engine_passes_reference_through(self):
+        big = np.arange(1000)
+
+        def prog(comm):
+            payload = Shared(big) if comm.rank == 0 else None
+            out = yield from comm.bcast(payload, root=0)
+            return out.value is big
+
+        res = run_spmd(prog, 4, machine=ZERO_COST)
+        assert res.values == [True] * 4
+
+    def test_payload_words_is_constant(self):
+        # the wrapper itself is metadata: costs must come from words=
+        assert payload_words(Shared(np.arange(10**6))) < 10
+
+    def test_repr(self):
+        assert "ndarray" in repr(Shared(np.zeros(1)))

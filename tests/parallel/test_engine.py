@@ -378,3 +378,191 @@ class TestExchange:
         res = run_spmd(prog, 2, machine=m)
         # 1 neighbour * ts + tw * max(10, 10)
         assert res.values[0] == pytest.approx(11.0)
+
+
+class TestCollectiveProperties:
+    """Randomised payloads checked against sequential references."""
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    @pytest.mark.parametrize("op,ref", [
+        ("sum", lambda d: d.sum(axis=0)),
+        ("min", lambda d: d.min(axis=0)),
+        ("max", lambda d: d.max(axis=0)),
+    ])
+    def test_allreduce_matches_sequential(self, p, op, ref):
+        data = np.random.default_rng(p * 100 + len(op)).normal(size=(p, 6))
+
+        def prog(comm):
+            return (yield from comm.allreduce(data[comm.rank].copy(), op=op))
+
+        expect = ref(data)
+        for got in run0(prog, p):
+            np.testing.assert_allclose(got, expect)
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 7])
+    def test_scan_matches_prefix_sum(self, p):
+        data = np.random.default_rng(41 + p).integers(-50, 50, size=p)
+
+        def prog(comm):
+            return (yield from comm.scan(int(data[comm.rank])))
+
+        assert run0(prog, p) == np.cumsum(data).tolist()
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 6])
+    def test_alltoall_matches_transpose(self, p):
+        data = np.random.default_rng(7 * p).integers(0, 1000, size=(p, p))
+
+        def prog(comm):
+            return (yield from comm.alltoall(data[comm.rank].tolist()))
+
+        vals = run0(prog, p)
+        for r in range(p):
+            assert vals[r] == data[:, r].tolist()
+
+    @pytest.mark.parametrize("p", [2, 3, 5])
+    def test_allgather_matches_concat(self, p):
+        data = np.random.default_rng(13 * p).normal(size=(p, 3))
+
+        def prog(comm):
+            return (yield from comm.allgather(data[comm.rank].copy()))
+
+        for got in run0(prog, p):
+            np.testing.assert_allclose(np.stack(got), data)
+
+    def test_mismatched_kinds_raise_commerror(self):
+        def prog(comm):
+            if comm.rank == 0:
+                return (yield from comm.allgather(comm.rank))
+            return (yield from comm.alltoall([0] * comm.size))
+
+        with pytest.raises(CommError, match="mismatch"):
+            run0(prog, 2)
+
+    def test_parked_recv_without_sender_names_op(self):
+        def prog(comm):
+            if comm.rank == 0:
+                got = yield from comm.recv(source=1, tag=7)
+                return got
+            return None
+
+        with pytest.raises(DeadlockError, match=r"recv\(comm=.*source=1, tag=7\)"):
+            run0(prog, 2)
+
+
+class TestCommStats:
+    """The engine's measured communication ledger."""
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_world_allreduce_counts_once_per_rank(self, p):
+        def prog(comm):
+            return (yield from comm.allreduce(1.0))
+
+        res = run_spmd(prog, p, machine=ZERO_COST)
+        stats = res.comm_stats
+        assert stats is not None
+        np.testing.assert_array_equal(stats.collectives["allreduce"], np.ones(p))
+        assert stats.collective_ops == {"allreduce": 1}
+        assert stats.collective_invocations() == 1
+
+    def test_subcomm_collective_counts_members_only(self):
+        def prog(comm):
+            sub = yield from comm.split(0 if comm.rank < 2 else None)
+            if sub is not None:
+                yield from sub.allreduce(comm.rank)
+
+        stats = run_spmd(prog, 4, machine=ZERO_COST).comm_stats
+        np.testing.assert_array_equal(
+            stats.collectives["allreduce"], [1, 1, 0, 0]
+        )
+        assert stats.collective_ops["allreduce"] == 1
+
+    def test_point_to_point_counters_and_words(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.zeros(10), dest=1)
+                return None
+            return (yield from comm.recv(source=0))
+
+        stats = run_spmd(prog, 2, machine=ZERO_COST).comm_stats
+        np.testing.assert_array_equal(stats.sends, [1, 0])
+        np.testing.assert_array_equal(stats.recvs, [0, 1])
+        np.testing.assert_array_equal(stats.words_sent, [10, 0])
+        np.testing.assert_array_equal(stats.words_received, [0, 10])
+        assert stats.total_messages == 1
+        assert stats.total_words == 10
+
+    def test_exchange_not_a_global_collective(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            yield from comm.exchange({right: comm.rank})
+            yield from comm.allreduce(1)
+
+        stats = run_spmd(prog, 4, machine=ZERO_COST).comm_stats
+        assert stats.collective_ops["exchange"] == 1
+        assert stats.collective_invocations() == 1  # the allreduce only
+        assert stats.collective_invocations(["exchange"]) == 1
+
+    def test_phase_attribution_and_aggregation(self):
+        def prog(comm):
+            comm.set_phase("embed/refresh")
+            yield from comm.allreduce(1)
+            comm.set_phase("embed/halo")
+            right = (comm.rank + 1) % comm.size
+            yield from comm.exchange({right: None})
+            comm.set_phase("partition")
+            yield from comm.allreduce(2)
+
+        res = run_spmd(prog, 3, machine=ZERO_COST)
+        stats = res.comm_stats
+        assert set(stats.phases) == {"embed/refresh", "embed/halo", "partition"}
+        embed = stats.phase("embed")
+        assert embed.collective_ops == {"allreduce": 1, "exchange": 1}
+        assert stats.phase("partition").collective_ops == {"allreduce": 1}
+        # run totals are the sum of the phases
+        assert stats.collective_ops["allreduce"] == 2
+        assert res.phase_comm_stats("embed").collective_invocations() == 1
+
+    def test_collective_wait_time_measures_skew(self):
+        m = MachineModel(alpha=1.0, t_s=0.0, t_w=0.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.charge(2.0)
+            yield from comm.allreduce(1)
+
+        stats = run_spmd(prog, 2, machine=m).comm_stats
+        assert stats.wait_time[0] == pytest.approx(0.0)
+        assert stats.wait_time[1] == pytest.approx(2.0)
+        assert stats.total_wait == pytest.approx(2.0)
+
+    def test_recv_wait_time_beyond_transfer(self):
+        m = MachineModel(alpha=1.0, t_s=0.0, t_w=0.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.charge(3.0)
+                yield from comm.send(1, dest=1)
+                return None
+            return (yield from comm.recv(source=0))
+
+        stats = run_spmd(prog, 2, machine=m).comm_stats
+        assert stats.wait_time[1] == pytest.approx(3.0)
+
+    def test_no_wait_when_ranks_in_lockstep(self):
+        def prog(comm):
+            comm.charge(1.0)
+            yield from comm.allreduce(comm.rank)
+
+        stats = run_spmd(prog, 4, machine=ZERO_COST).comm_stats
+        assert stats.total_wait == 0.0
+
+    def test_zero_comm_program_has_empty_ledger(self):
+        def prog(comm):
+            comm.charge(5.0)
+            return comm.rank
+            yield  # pragma: no cover
+
+        stats = run_spmd(prog, 3, machine=ZERO_COST).comm_stats
+        assert stats.total_messages == 0
+        assert stats.total_words == 0.0
+        assert stats.collective_invocations(stats.collective_ops) == 0

@@ -81,3 +81,38 @@ class TestEmbed:
         coords = np.loadtxt(out)
         assert coords.shape == (144, 2)
         assert np.isfinite(coords).all()
+
+
+class TestTrace:
+    def test_scalapart_trace_report(self, graph_file, capsys):
+        path, g = graph_file
+        rc = main(["trace", path, "--nranks", "4", "--seed", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "method=ScalaPart nranks=4" in out
+        assert "global collectives:" in out
+        # per-phase rows with hierarchical labels (the 144-vertex grid
+        # is below coarsest_size, so no coarsen/* phases appear)
+        assert "embed/" in out
+        assert "partition/select" in out
+
+    def test_profile_jsonl_roundtrips(self, graph_file, tmp_path):
+        from repro.parallel import read_trace_jsonl
+
+        path, g = graph_file
+        prof = tmp_path / "g.trace.jsonl"
+        rc = main(["trace", path, "--nranks", "4", "--seed", "5",
+                   "--block-size", "4", "--profile", str(prof)])
+        assert rc == 0
+        recs = read_trace_jsonl(str(prof))
+        assert recs[0]["record"] == "run"
+        assert recs[0]["nranks"] == 4
+        assert recs[0]["comm"]["collective_ops"]
+        phases = {r["phase"] for r in recs[1:]}
+        assert any(p.startswith("embed/") for p in phases)
+
+    def test_parmetis_method(self, graph_file, capsys):
+        path, g = graph_file
+        rc = main(["trace", path, "--method", "parmetis", "--nranks", "4"])
+        assert rc == 0
+        assert "nranks=4" in capsys.readouterr().out
