@@ -1,88 +1,243 @@
-"""Micro-benchmarks of the library's computational kernels.
+"""Micro-benchmark + perf-regression harness for the hot-path kernels.
 
-Unlike the table/figure benches (single-shot regenerations), these use
-pytest-benchmark's statistical timing — they are the numbers to watch
-when optimising the kernels.
+Times the library's four hot paths — matching, contraction, engine
+payload delivery and one embed smoothing iteration — on generated
+graphs, reports per-kernel medians, and persists them (plus the
+old-vs-new speedup ratios the optimisation work is accountable for) to
+``BENCH_kernels.json``.
+
+Two ways to run it:
+
+* **Record**: ``python benchmarks/bench_micro_kernels.py`` times every
+  kernel on a ~100k-vertex grid graph and writes the JSON (default:
+  repo-root ``BENCH_kernels.json`` — the committed baseline).
+* **Check**: ``python benchmarks/bench_micro_kernels.py --check
+  BENCH_kernels.json`` re-times and *fails loudly* (exit 1) when any
+  kernel regressed by more than ``--threshold`` (default 1.5×) against
+  the baseline medians.
+
+``--quick`` shrinks the graphs so CI can exercise the record/check path
+in seconds (its timings are noise — pair it with a huge ``--threshold``
+when checking, as the CI smoke job does).
+
+Unlike the table/figure benches (single-shot regenerations) this is a
+plain script, importable without pytest: the numbers to watch when
+optimising kernels, wired to fail the build when they rot.
 """
 
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
 import numpy as np
-import pytest
 
-from repro.coarsen import contract, heavy_edge_matching
-from repro.embed import (
-    Box,
-    lattice_stats,
-    repulsive_forces_bh,
-    repulsive_forces_exact,
-    repulsive_forces_lattice,
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.coarsen import (  # noqa: E402
+    contract,
+    heavy_edge_matching,
+    heavy_edge_matching_vec,
+    validate_matching,
 )
-from repro.geometric.gmt import g7_nl
-from repro.graph import Bisection, CSRGraph, cut_size
-from repro.graph.generators import grid2d, random_delaunay
-from repro.parallel import ZERO_COST, run_spmd
-from repro.refine import fm_refine
+from repro.embed.box import Box  # noqa: E402
+from repro.embed.fdl import force_directed_layout, random_positions  # noqa: E402
+from repro.embed.lattice import repulsive_forces_lattice  # noqa: E402
+from repro.graph.generators import grid2d  # noqa: E402
+from repro.parallel import ZERO_COST, run_spmd  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_kernels.json"
+SCHEMA = 1
+
+#: kernels whose medians participate in the regression check
+TIMED_KERNELS = (
+    "matching/hem",
+    "matching/hem-vec",
+    "matching/validate",
+    "coarsen/contract",
+    "engine/delivery-defensive",
+    "engine/delivery-readonly",
+    "engine/reduce-array",
+    "embed/smooth-iter",
+)
 
 
-@pytest.fixture(scope="module")
-def mesh():
-    return random_delaunay(5000, seed=1)
+def _median_time(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
 
 
-def test_csr_from_edges(benchmark):
-    rng = np.random.default_rng(0)
-    edges = rng.integers(0, 20000, size=(60000, 2))
-    benchmark(CSRGraph.from_edges, 20000, edges)
+def _delivery_program(payload_len: int, rounds: int):
+    """Rank program: ring sendrecv of an array payload, ``rounds`` times.
 
+    With ``copy_mode="defensive"`` every delivery deep-copies the array;
+    with ``"readonly"`` the same program moves read-only views — the
+    difference is pure payload-copy cost.
+    """
 
-def test_cut_size(benchmark, mesh):
-    side = (np.arange(mesh.graph.num_vertices) % 2).astype(np.int8)
-    benchmark(cut_size, mesh.graph, side)
-
-
-def test_heavy_edge_matching(benchmark, mesh):
-    benchmark(heavy_edge_matching, mesh.graph, 7)
-
-
-def test_contract(benchmark, mesh):
-    match = heavy_edge_matching(mesh.graph, seed=7)
-    benchmark(contract, mesh.graph, match)
-
-
-def test_fm_refine(benchmark, mesh):
-    g, pts = mesh
-    side = (pts[:, 0] > np.median(pts[:, 0])).astype(np.int8)
-    rng = np.random.default_rng(3)
-    flip = rng.choice(g.num_vertices, 100, replace=False)
-    side[flip] = 1 - side[flip]
-    bis = Bisection(g, side)
-    benchmark(fm_refine, bis)
-
-
-def test_repulsion_exact_500(benchmark):
-    pts = np.random.default_rng(4).random((500, 2))
-    benchmark(repulsive_forces_exact, pts)
-
-
-def test_repulsion_bh_5000(benchmark, mesh):
-    benchmark(repulsive_forces_bh, mesh.coords)
-
-
-def test_repulsion_lattice_5000(benchmark, mesh):
-    box = Box.of_points(mesh.coords)
-    benchmark(
-        repulsive_forces_lattice, mesh.coords, None, 0.2, 1.0, box=box, s=16
-    )
-
-
-def test_geometric_g7nl(benchmark, mesh):
-    benchmark(g7_nl, mesh.graph, mesh.coords, 5)
-
-
-def test_engine_allreduce_p256(benchmark):
     def prog(comm):
+        arr = np.full(payload_len, float(comm.rank))
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        acc = 0.0
+        for _ in range(rounds):
+            got = yield from comm.sendrecv(arr, dest=right, source=left)
+            acc += float(got[0])
+        return acc
+
+    return prog
+
+
+def _reduce_program(payload_len: int, rounds: int):
+    def prog(comm):
+        arr = np.full(payload_len, float(comm.rank))
         total = 0.0
-        for _ in range(4):
-            total = yield from comm.allreduce(comm.rank)
+        for _ in range(rounds):
+            red = yield from comm.allreduce(arr, op="sum")
+            total += float(red[0])
         return total
 
-    benchmark(run_spmd, prog, 256, machine=ZERO_COST)
+    return prog
+
+
+def run_benchmarks(quick: bool = False, repeats: int = 5) -> dict:
+    """Time every kernel; returns the result document (JSON-ready)."""
+    side = 32 if quick else 320  # 1k / 102k vertices
+    mesh = grid2d(side, side)
+    g = mesh.graph
+    results: dict = {
+        "schema": SCHEMA,
+        "quick": quick,
+        "repeats": repeats,
+        "graph": {"kind": f"grid2d({side}x{side})", "n": g.num_vertices,
+                  "m": g.num_edges},
+        "kernels": {},
+    }
+
+    def record(name: str, fn) -> float:
+        med = _median_time(fn, repeats)
+        results["kernels"][name] = {"median_s": med}
+        print(f"  {name:<28s} {med * 1e3:10.2f} ms")
+        return med
+
+    print(f"kernel micro-benchmarks on {results['graph']['kind']} "
+          f"(n={g.num_vertices}, m={g.num_edges}), median of {repeats}")
+
+    # ---- matching -----------------------------------------------------
+    t_hem = record("matching/hem", lambda: heavy_edge_matching(g, seed=7))
+    t_vec = record("matching/hem-vec",
+                   lambda: heavy_edge_matching_vec(g, seed=7))
+    match = heavy_edge_matching_vec(g, seed=7)
+    record("matching/validate", lambda: validate_matching(g, match))
+
+    # ---- contraction --------------------------------------------------
+    record("coarsen/contract", lambda: contract(g, match))
+
+    # ---- engine payload delivery -------------------------------------
+    n_payload = 4_000 if quick else 1_000_000
+    rounds = 4 if quick else 8
+    prog = _delivery_program(n_payload, rounds)
+    t_def = record(
+        "engine/delivery-defensive",
+        lambda: run_spmd(prog, 2, machine=ZERO_COST, copy_mode="defensive"),
+    )
+    t_ro = record(
+        "engine/delivery-readonly",
+        lambda: run_spmd(prog, 2, machine=ZERO_COST, copy_mode="readonly"),
+    )
+    rprog = _reduce_program(n_payload // 8, rounds)
+    record("engine/reduce-array",
+           lambda: run_spmd(rprog, 8, machine=ZERO_COST))
+
+    # ---- one embed smoothing iteration --------------------------------
+    pos0 = random_positions(g.num_vertices, seed=3)
+    box = Box.of_points(pos0).expanded(1.05)
+    s = 4 if quick else 32
+
+    def lattice_kernel(pos, masses, c, k):
+        return repulsive_forces_lattice(pos, masses, c, k, box=box, s=s)
+
+    record(
+        "embed/smooth-iter",
+        lambda: force_directed_layout(
+            g, pos0, masses=g.vwgt, max_iters=1, step0=1.0,
+            repulsion=lattice_kernel,
+        ),
+    )
+
+    results["speedups"] = {
+        "heavy_edge_matching": t_hem / t_vec if t_vec > 0 else float("inf"),
+        "payload_delivery": t_def / t_ro if t_ro > 0 else float("inf"),
+    }
+    for name, ratio in results["speedups"].items():
+        print(f"  speedup {name:<20s} {ratio:6.2f}x")
+    return results
+
+
+def check_regressions(current: dict, baseline: dict, threshold: float) -> list:
+    """Compare per-kernel medians; returns a list of failure strings."""
+    failures = []
+    base_kernels = baseline.get("kernels", {})
+    for name, entry in current["kernels"].items():
+        base = base_kernels.get(name)
+        if base is None:
+            print(f"  {name:<28s} (no baseline entry, skipped)")
+            continue
+        ratio = entry["median_s"] / max(base["median_s"], 1e-12)
+        status = "ok" if ratio <= threshold else "REGRESSED"
+        print(f"  {name:<28s} {ratio:6.2f}x vs baseline   {status}")
+        if ratio > threshold:
+            failures.append(
+                f"{name}: {entry['median_s'] * 1e3:.2f} ms vs baseline "
+                f"{base['median_s'] * 1e3:.2f} ms ({ratio:.2f}x > "
+                f"{threshold:.2f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="tiny graphs (CI smoke; timings are noise)")
+    ap.add_argument("--repeats", type=int, default=5)
+    ap.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                    help=f"result JSON path (default {DEFAULT_OUT})")
+    ap.add_argument("--check", type=Path, metavar="BASELINE",
+                    help="compare against a baseline JSON; exit 1 on "
+                         ">threshold regressions")
+    ap.add_argument("--threshold", type=float, default=1.5,
+                    help="regression factor that fails --check "
+                         "(default 1.5)")
+    args = ap.parse_args(argv)
+
+    results = run_benchmarks(quick=args.quick, repeats=args.repeats)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        print(f"regression check vs {args.check} "
+              f"(threshold {args.threshold:.2f}x)")
+        failures = check_regressions(results, baseline, args.threshold)
+        if failures:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,10 @@
 from .contract import coarse_map, contract, project_labels
 from .hierarchy import Hierarchy, build_hierarchy
 from .matching import (
+    MATCHERS,
+    get_matcher,
     heavy_edge_matching,
+    heavy_edge_matching_vec,
     matching_work,
     random_matching,
     validate_matching,
@@ -16,7 +19,10 @@ __all__ = [
     "Hierarchy",
     "build_hierarchy",
     "heavy_edge_matching",
+    "heavy_edge_matching_vec",
     "matching_work",
     "random_matching",
     "validate_matching",
+    "MATCHERS",
+    "get_matcher",
 ]

@@ -42,6 +42,15 @@ def contract(graph: CSRGraph, match: np.ndarray) -> Tuple[CSRGraph, np.ndarray]:
 
     Returns ``(coarse, cmap)`` with ``cmap[v]`` the coarse id of fine
     vertex ``v``.
+
+    Works directly on the directed CSR adjacency — no ``(m, 2)`` edge
+    array materialisation or ``from_edges`` validation round trip.  One
+    stable sort over the relabelled undirected slots merges parallel
+    coarse edges (weights accumulated per group); the result is then
+    symmetrised and bucketed by source exactly the way
+    :meth:`CSRGraph.from_edges` does, so the coarse graph is
+    *byte-identical* to the historical edge-list path (downstream
+    tie-breaking — FM gains, greedy growing — depends on slot order).
     """
     n = graph.num_vertices
     match = np.asarray(match, dtype=np.int64)
@@ -50,9 +59,33 @@ def contract(graph: CSRGraph, match: np.ndarray) -> Tuple[CSRGraph, np.ndarray]:
     cmap = coarse_map(match)
     nc = int(cmap.max()) + 1 if n else 0
     cvwgt = np.bincount(cmap, weights=graph.vwgt, minlength=nc)
-    edges, w = graph.edge_list()
-    cedges = cmap[edges] if edges.shape[0] else edges
-    coarse = CSRGraph.from_edges(nc, cedges, w, cvwgt, dedupe=True)
+    # each undirected fine edge once (src < dst slots, CSR order)
+    fsrc = graph.edge_sources()
+    und = fsrc < graph.indices
+    cu = cmap[fsrc[und]]
+    cv = cmap[graph.indices[und]]
+    w = graph.ewgt[und]
+    ext = cu != cv  # edges internal to a contracted pair vanish
+    cu, cv, w = cu[ext], cv[ext], w[ext]
+    lo = np.minimum(cu, cv)
+    hi = np.maximum(cu, cv)
+    if lo.shape[0]:
+        key = lo * np.int64(nc) + hi
+        order = np.argsort(key, kind="stable")
+        key, lo, hi, w = key[order], lo[order], hi[order], w[order]
+        first = np.ones(key.shape[0], dtype=bool)
+        first[1:] = key[1:] != key[:-1]
+        group = np.cumsum(first) - 1
+        w = np.bincount(group, weights=w)
+        lo, hi = lo[first], hi[first]
+    # symmetrise: emit both directions then bucket by source
+    csrc = np.concatenate([lo, hi])
+    cdst = np.concatenate([hi, lo])
+    cw = np.concatenate([w, w])
+    indptr = np.zeros(nc + 1, dtype=np.int64)
+    np.cumsum(np.bincount(csrc, minlength=nc), out=indptr[1:])
+    order = np.argsort(csrc, kind="stable")
+    coarse = CSRGraph(indptr, cdst[order], cw[order], cvwgt, validate=False)
     return coarse, cmap
 
 

@@ -7,6 +7,18 @@ by the heaviest edge.  HEM maximises the weight of contracted edges so
 that the coarse graph exposes as little cut weight as possible — the
 property that makes multilevel partitioners work.
 
+Two implementations are provided:
+
+* :func:`heavy_edge_matching` — the sequential greedy rule (one vertex
+  at a time in a random permutation), the literal ParMetis semantics;
+* :func:`heavy_edge_matching_vec` — a round-based *locally dominant
+  edge* formulation: every round each unmatched vertex points at its
+  heaviest free neighbour (one segmented ``np.maximum.reduceat`` over
+  the CSR adjacency), mutual proposals lock in, and rounds repeat until
+  no proposal lands.  Identical in spirit to the distributed matcher in
+  :mod:`repro.coarsen.parallel`, but engine-free and ~an order of
+  magnitude faster than the greedy loop on 100k+ vertex graphs.
+
 A matching is encoded as an array ``match`` with ``match[v]`` the mate
 of ``v`` (or ``v`` itself for unmatched vertices); it is an involution
 (``match[match[v]] == v``) and every matched pair is an edge.
@@ -14,15 +26,23 @@ of ``v`` (or ``v`` itself for unmatched vertices); it is an involution
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from ..errors import GraphError
+from ..errors import ConfigError, GraphError
 from ..graph.csr import CSRGraph
 from ..rng import SeedLike, as_generator
 
-__all__ = ["heavy_edge_matching", "random_matching", "validate_matching", "matching_work"]
+__all__ = [
+    "heavy_edge_matching",
+    "heavy_edge_matching_vec",
+    "random_matching",
+    "validate_matching",
+    "matching_work",
+    "MATCHERS",
+    "get_matcher",
+]
 
 
 def heavy_edge_matching(graph: CSRGraph, seed: SeedLike = None) -> np.ndarray:
@@ -55,6 +75,103 @@ def heavy_edge_matching(graph: CSRGraph, seed: SeedLike = None) -> np.ndarray:
     return match
 
 
+def _edge_tiebreak(
+    src: np.ndarray, dst: np.ndarray, salt: np.uint64
+) -> np.ndarray:
+    """Symmetric pseudo-random perturbation in ``[0, 0.5)`` per edge.
+
+    A pure function of the (unordered) endpoint pair and ``salt``, so
+    both stored directions of an undirected edge perturb identically —
+    the property that makes ties resolve *mutually* in proposal rounds.
+    Being strictly below 0.5 it never reorders integer-valued weights.
+    """
+    elo = np.minimum(src, dst).astype(np.uint64)
+    ehi = np.maximum(src, dst).astype(np.uint64)
+    h = (
+        elo * np.uint64(2654435761)
+        + ehi * np.uint64(40503)
+        + (salt + np.uint64(1)) * np.uint64(2246822519)
+    ) & np.uint64(0xFFFFFFFF)
+    return h.astype(np.float64) / float(2**32) * 0.5
+
+
+def heavy_edge_matching_vec(
+    graph: CSRGraph, seed: SeedLike = None, max_stall_rounds: int = 4
+) -> np.ndarray:
+    """Round-based vectorised heavy-edge matching (locally dominant edges).
+
+    Each round every unmatched vertex proposes to its heaviest free
+    neighbour, found with two segmented reductions over the CSR arrays
+    (``np.maximum.reduceat`` for the best weight, ``np.minimum.reduceat``
+    for its slot); proposals that are mutual become matched pairs.
+    Rounds repeat until no vertex can propose, so on termination the
+    matching is maximal (every remaining unmatched vertex has only
+    matched neighbours) except in the astronomically unlikely event of
+    ``max_stall_rounds`` consecutive tie-break collisions.
+
+    The globally heaviest free edge is always mutual (both endpoints see
+    it as their best), so every round matches at least one pair and the
+    loop terminates.  Ties are broken by a seed-salted symmetric hash of
+    the endpoint pair, making the result deterministic given ``seed``
+    and — like the greedy rule's random visit order — varying across
+    seeds.
+    """
+    n = graph.num_vertices
+    match = np.arange(n, dtype=np.int64)
+    if n == 0:
+        return match
+    rng = as_generator(seed)
+    base_salt = int(rng.integers(0, 2**31))
+    indptr, indices, ewgt = graph.indptr, graph.indices, graph.ewgt
+    deg = np.diff(indptr)
+    nz = np.flatnonzero(deg > 0)
+    if nz.size == 0:
+        return match
+    # slot → proposing vertex, for the whole adjacency (built once)
+    src = np.repeat(np.arange(n, dtype=np.int64), deg)
+    # segment starts of the degree>0 vertices tile [0, 2m) exactly,
+    # which is what reduceat needs (empty segments would misbehave)
+    starts = indptr[nz]
+    # position of each slot's owner within ``nz``
+    seg_pos = np.repeat(np.arange(nz.size, dtype=np.int64), deg[nz])
+    ids = np.arange(n, dtype=np.int64)
+    nslots = indices.shape[0]
+    stalled = 0
+    round_no = 0
+    while True:
+        free = match == ids
+        valid = free[src] & free[indices]
+        if not valid.any():
+            break
+        w_eff = np.where(
+            valid,
+            ewgt + _edge_tiebreak(src, indices,
+                                  np.uint64(base_salt + round_no)),
+            -np.inf,
+        )
+        seg_best = np.maximum.reduceat(w_eff, starts)
+        # slot of the best proposal: smallest slot index attaining the max
+        hit = w_eff == seg_best[seg_pos]
+        slot_ids = np.where(hit, np.arange(nslots), nslots)
+        best_slot = np.minimum.reduceat(slot_ids, starts)
+        has = seg_best > -np.inf
+        prop = np.full(n, -1, dtype=np.int64)
+        prop[nz[has]] = indices[best_slot[has]]
+        ok = prop >= 0
+        mutual = ok.copy()
+        mutual[ok] = prop[prop[ok]] == ids[ok]
+        if not mutual.any():
+            # only possible on a tie-break hash collision cycle; re-salt
+            stalled += 1
+            if stalled >= max_stall_rounds:
+                break
+        else:
+            stalled = 0
+            match[mutual] = prop[mutual]
+        round_no += 1
+    return match
+
+
 def random_matching(graph: CSRGraph, seed: SeedLike = None) -> np.ndarray:
     """Random maximal matching (ablation baseline for HEM)."""
     n = graph.num_vertices
@@ -81,12 +198,38 @@ def validate_matching(graph: CSRGraph, match: np.ndarray) -> None:
     match = np.asarray(match)
     if match.shape != (n,):
         raise GraphError("matching must have one entry per vertex")
-    if not np.array_equal(match[match], np.arange(n)):
+    ids = np.arange(n)
+    if not np.array_equal(match[match], ids):
         raise GraphError("matching is not an involution")
-    pairs = np.flatnonzero(match > np.arange(n))
-    for v in pairs:
-        if not graph.has_edge(int(v), int(match[v])):
+    # CSR membership test: a slot (u → w) witnesses u's matched edge iff
+    # w == match[u]; every matched vertex needs such a witness
+    if n:
+        src = graph.edge_sources()
+        witnessed = np.zeros(n, dtype=bool)
+        witnessed[src[match[src] == graph.indices]] = True
+        bad = np.flatnonzero((match != ids) & ~witnessed)
+        if bad.size:
+            v = int(bad[0])
             raise GraphError(f"matched pair ({v}, {match[v]}) is not an edge")
+
+
+#: Matcher registry keyed by the :class:`~repro.core.config.ScalaPartConfig`
+#: ``matching`` knob.
+MATCHERS: Dict[str, Callable[..., np.ndarray]] = {
+    "hem": heavy_edge_matching,
+    "hem-vec": heavy_edge_matching_vec,
+    "random": random_matching,
+}
+
+
+def get_matcher(name: str) -> Callable[..., np.ndarray]:
+    """Resolve a matcher by config name (raises :class:`ConfigError`)."""
+    try:
+        return MATCHERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown matching {name!r}; expected one of {sorted(MATCHERS)}"
+        ) from None
 
 
 def matching_work(graph: CSRGraph) -> float:

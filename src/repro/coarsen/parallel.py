@@ -31,7 +31,12 @@ import numpy as np
 
 from ..errors import GraphError
 from ..graph.csr import CSRGraph
-from ..graph.distributed import Shared, adjacency_slots, block_of, block_starts
+from ..graph.distributed import (
+    Shared,
+    block_adjacency_slots,
+    block_of,
+    block_starts,
+)
 from ..parallel.engine import Comm
 from ..parallel.patterns import allgather_concat, share_from_root
 from ..rng import SeedLike
@@ -49,11 +54,10 @@ def _local_proposals(
 ) -> np.ndarray:
     """Heaviest-unmatched-neighbour proposal for owned vertices
     [lo, hi); -1 where no proposal is possible.  Vectorised."""
-    owned = np.arange(lo, hi, dtype=np.int64)
     prop = np.full(hi - lo, -1, dtype=np.int64)
-    if owned.size == 0:
+    if hi <= lo:
         return prop
-    src_pos, src, dst, w = adjacency_slots(graph, owned)
+    src_pos, src, dst, w = block_adjacency_slots(graph, lo, hi)
     valid = ~matched[dst] & ~matched[src]
     if not valid.any():
         return prop

@@ -23,6 +23,12 @@ class ScalaPartConfig:
 
     #: stop coarsening near this many vertices ("hundreds or few thousands")
     coarsest_size: int = 160
+    #: sequential matching kernel for the coarsening hierarchy:
+    #: ``"hem-vec"`` (round-based vectorised heavy-edge matching, the
+    #: default — the same locally-dominant-edge algorithm the parallel
+    #: drivers run distributed), ``"hem"`` (the literal ParMetis greedy
+    #: rule) or ``"random"`` (ablation baseline)
+    matching: str = "hem-vec"
     #: FDL iterations on the coarsest graph (random start needs many)
     coarsest_iters: int = 150
     #: smoothing iterations per refined level ("a few iterations")
@@ -50,6 +56,10 @@ class ScalaPartConfig:
     def __post_init__(self) -> None:
         if self.coarsest_size < 1:
             raise ConfigError("coarsest_size must be >= 1")
+        # resolve eagerly so a typo fails at config time, not mid-pipeline
+        from ..coarsen.matching import get_matcher
+
+        get_matcher(self.matching)
         if self.coarsest_iters < 0 or self.smooth_iters < 0:
             raise ConfigError("iteration counts must be nonnegative")
         if self.block_size < 1:

@@ -111,12 +111,19 @@ def scalapart_parallel(
     config: Optional[ScalaPartConfig] = None,
     seed: SeedLike = None,
     machine: MachineModel = QDR_CLUSTER,
+    copy_mode: str = "readonly",
 ) -> PartitionResult:
-    """Run distributed ScalaPart on ``nranks`` virtual ranks."""
+    """Run distributed ScalaPart on ``nranks`` virtual ranks.
+
+    ``copy_mode`` is the engine's payload-delivery mode (see
+    :func:`~repro.parallel.engine.run_spmd`); results are identical
+    under both settings, ``"readonly"`` is the zero-copy fast path.
+    """
     if graph.num_vertices < 2:
         raise PartitionError("cannot bisect fewer than 2 vertices")
     res = run_spmd(dist_scalapart, nranks, graph, config, seed,
-                   machine=machine, seed=derive_seed(seed, 1))
+                   machine=machine, seed=derive_seed(seed, 1),
+                   copy_mode=copy_mode)
     return _package(graph, res, "ScalaPart")
 
 
@@ -127,6 +134,7 @@ def sp_pg7_nl_parallel(
     config: Optional[ScalaPartConfig] = None,
     seed: SeedLike = None,
     machine: MachineModel = QDR_CLUSTER,
+    copy_mode: str = "readonly",
 ) -> PartitionResult:
     """Run the partition-only component (SP-PG7-NL) on given coordinates
     — the paper's Figure 4 comparison against RCB."""
@@ -136,7 +144,8 @@ def sp_pg7_nl_parallel(
         return (yield from dist_sp_pg7_nl(comm, graph, coords,
                                           config=config, seed=seed))
 
-    res = run_spmd(prog, nranks, machine=machine, seed=derive_seed(seed, 2))
+    res = run_spmd(prog, nranks, machine=machine, seed=derive_seed(seed, 2),
+                   copy_mode=copy_mode)
     return _package(graph, res, "SP-PG7-NL")
 
 
@@ -146,6 +155,7 @@ def parmetis_parallel(
     seed: SeedLike = None,
     machine: MachineModel = QDR_CLUSTER,
     max_imbalance: float = 0.05,
+    copy_mode: str = "readonly",
 ) -> PartitionResult:
     """Run the distributed ParMetis analogue."""
 
@@ -153,7 +163,8 @@ def parmetis_parallel(
         return (yield from dist_parmetis_like(comm, graph, seed=seed,
                                               max_imbalance=max_imbalance))
 
-    res = run_spmd(prog, nranks, machine=machine, seed=derive_seed(seed, 3))
+    res = run_spmd(prog, nranks, machine=machine, seed=derive_seed(seed, 3),
+                   copy_mode=copy_mode)
     return _package(graph, res, "ParMetis-like")
 
 
@@ -163,6 +174,7 @@ def scotch_parallel(
     seed: SeedLike = None,
     machine: MachineModel = QDR_CLUSTER,
     max_imbalance: float = 0.05,
+    copy_mode: str = "readonly",
 ) -> PartitionResult:
     """Run the distributed Pt-Scotch analogue."""
 
@@ -170,7 +182,8 @@ def scotch_parallel(
         return (yield from dist_scotch_like(comm, graph, seed=seed,
                                             max_imbalance=max_imbalance))
 
-    res = run_spmd(prog, nranks, machine=machine, seed=derive_seed(seed, 4))
+    res = run_spmd(prog, nranks, machine=machine, seed=derive_seed(seed, 4),
+                   copy_mode=copy_mode)
     return _package(graph, res, "Pt-Scotch-like")
 
 
@@ -179,6 +192,7 @@ def rcb_parallel(
     coords: np.ndarray,
     nranks: int,
     machine: MachineModel = QDR_CLUSTER,
+    copy_mode: str = "readonly",
 ) -> PartitionResult:
     """Run distributed RCB on given coordinates."""
 
@@ -186,5 +200,6 @@ def rcb_parallel(
         comm.set_phase("partition")
         return (yield from dist_rcb_bisect(comm, graph, coords))
 
-    res = run_spmd(prog, nranks, machine=machine, seed=0)
+    res = run_spmd(prog, nranks, machine=machine, seed=0,
+                   copy_mode=copy_mode)
     return _package(graph, res, "RCB")

@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..coarsen.matching import get_matcher
 from ..embed.multilevel import multilevel_embedding
 from ..errors import PartitionError
 from ..geometric.gmt import geometric_partition
@@ -103,6 +104,7 @@ def scalapart(
         smooth_iters=cfg.smooth_iters,
         jitter=cfg.jitter,
         repulsion="lattice",
+        matcher=get_matcher(cfg.matching),
     )
     t_embed = time.perf_counter() - t0
     part = sp_pg7_nl(graph, emb.pos, cfg, seed=seed)

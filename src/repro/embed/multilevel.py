@@ -27,7 +27,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..coarsen import Hierarchy, build_hierarchy
+from ..coarsen import Hierarchy, build_hierarchy, heavy_edge_matching
 from ..errors import EmbeddingError
 from ..graph.csr import CSRGraph
 from ..rng import SeedLike, as_generator, derive_seed
@@ -79,12 +79,17 @@ def multilevel_embedding(
     repulsion: str = "lattice",
     lattice_per_cell: float = 32.0,
     hierarchy: Optional[Hierarchy] = None,
+    matcher=heavy_edge_matching,
 ) -> EmbeddingResult:
     """Embed an arbitrary graph in the plane.
 
     ``repulsion`` selects the smoothing kernel for the refined levels:
     ``"lattice"`` (the paper's scheme) or ``"bh"`` (Barnes–Hut, the
     higher-fidelity reference used for the ablation benchmarks).
+    ``matcher`` is the matching kernel handed to
+    :func:`~repro.coarsen.build_hierarchy` (the pipeline resolves it
+    from ``ScalaPartConfig.matching``; ignored when ``hierarchy`` is
+    supplied).
     """
     if repulsion not in ("lattice", "bh"):
         raise EmbeddingError(f"unknown repulsion {repulsion!r}")
@@ -94,7 +99,8 @@ def multilevel_embedding(
         )
     rng = as_generator(derive_seed(seed, 0xE3BED))
     h = hierarchy if hierarchy is not None else build_hierarchy(
-        graph, coarsest_size=coarsest_size, keep_every_other=True, seed=seed
+        graph, coarsest_size=coarsest_size, keep_every_other=True, seed=seed,
+        matcher=matcher,
     )
 
     # -- coarsest level: exact forces from random coordinates ----------

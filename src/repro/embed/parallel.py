@@ -203,7 +203,12 @@ def _smooth_level(
         return table
 
     comm.set_phase("embed/refresh")
-    stats = yield from comm.allreduce(local_stats(), words=3.0 * p)
+    # private writable copy of the delivered table: off-block iterations
+    # overwrite this rank's own row in place (tiny (p,3) copy; the engine
+    # delivers collective payloads as read-only views)
+    stats = np.array(
+        (yield from comm.allreduce(local_stats(), words=3.0 * p))
+    )
     comm.set_phase("embed/smooth")
     # Fixed geometric cooling instead of Hu's adaptive schedule: the
     # adaptive rule needs the *global* force energy every iteration — a
@@ -242,7 +247,9 @@ def _smooth_level(
                 )
                 if setup.far_slots.size:
                     setup.pos_ghost[setup.far_slots] = full[setup.far_ids]
-            stats = yield from comm.allreduce(local_stats(), words=3.0 * p)
+            stats = np.array(
+                (yield from comm.allreduce(local_stats(), words=3.0 * p))
+            )
             comm.set_phase("embed/smooth")
         else:
             # own row stays current locally (paper: each processor

@@ -30,7 +30,14 @@ import numpy as np
 from ..errors import GraphError
 from .csr import CSRGraph
 
-__all__ = ["Shared", "block_starts", "block_of", "owner_by_block", "adjacency_slots"]
+__all__ = [
+    "Shared",
+    "block_starts",
+    "block_of",
+    "owner_by_block",
+    "adjacency_slots",
+    "block_adjacency_slots",
+]
 
 
 class Shared:
@@ -74,6 +81,24 @@ def owner_by_block(starts: np.ndarray, ids: np.ndarray) -> np.ndarray:
     return np.searchsorted(starts, np.asarray(ids), side="right") - 1
 
 
+def block_adjacency_slots(
+    graph: CSRGraph, lo: int, hi: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flattened adjacency of the contiguous vertex block ``[lo, hi)``.
+
+    Same contract as :func:`adjacency_slots` but for the block
+    distribution every rank-local kernel actually uses: the slot range
+    is one CSR slice, so ``dst`` and ``w`` are *views* of the graph's
+    arrays (zero copy, zero gather) and only ``src_pos`` is materialised.
+    """
+    if not (0 <= lo <= hi <= graph.num_vertices):
+        raise GraphError(f"block [{lo}, {hi}) out of range")
+    deg = np.diff(graph.indptr[lo : hi + 1])
+    src_pos = np.repeat(np.arange(hi - lo, dtype=np.int64), deg)
+    sl = slice(int(graph.indptr[lo]), int(graph.indptr[hi]))
+    return src_pos, lo + src_pos, graph.indices[sl], graph.ewgt[sl]
+
+
 def adjacency_slots(
     graph: CSRGraph, vertices: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -83,11 +108,22 @@ def adjacency_slots(
     ``vertices`` (i.e. a *local* row id), ``src``/``dst`` are global
     endpoint ids and ``w`` the edge weights — the working arrays of
     every per-rank vectorised kernel (forces, gains, matching).
+
+    Contiguous ascending id ranges (the block-distribution common case)
+    are detected and served by :func:`block_adjacency_slots`, which
+    slices the CSR arrays directly instead of gathering per-slot.
     """
     vertices = np.asarray(vertices, dtype=np.int64)
+    k = vertices.shape[0]
+    if k and vertices[-1] - vertices[0] + 1 == k and bool(
+        np.all(np.diff(vertices) == 1)
+    ):
+        return block_adjacency_slots(
+            graph, int(vertices[0]), int(vertices[-1]) + 1
+        )
     deg = graph.indptr[vertices + 1] - graph.indptr[vertices]
     total = int(deg.sum())
-    src_pos = np.repeat(np.arange(vertices.shape[0]), deg)
+    src_pos = np.repeat(np.arange(k), deg)
     if total == 0:
         e = np.zeros(0, dtype=np.int64)
         return src_pos, e, e.copy(), np.zeros(0)

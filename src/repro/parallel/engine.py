@@ -38,9 +38,17 @@ Semantics notes
   :class:`~repro.errors.CommError`, and a state where no rank can
   advance raises :class:`~repro.errors.DeadlockError` naming the parked
   operations — both invaluable when debugging distributed algorithms.
-* Payloads are defensively copied on delivery (NumPy arrays and nested
-  containers), so mutating received data never aliases the sender's
-  memory — matching real message-passing semantics.
+* Payload delivery has two modes (``run_spmd(..., copy_mode=...)``).
+  The default ``"readonly"`` fast path delivers NumPy arrays as
+  *read-only views* (``flags.writeable = False``) — zero-copy, so halo
+  exchanges, allgathers and β-refreshes cost O(1) per array instead of
+  a full copy.  Receivers that need to mutate call ``.copy()``
+  explicitly (attempting in-place mutation raises ``ValueError``), and
+  senders must not mutate a payload after posting it — the same
+  contract as the :class:`~repro.graph.distributed.Shared` idiom.
+  ``copy_mode="defensive"`` restores deep-copy-on-delivery semantics
+  (received data never aliases sender memory), and a per-message
+  ``comm.send(..., copy=True/False)`` overrides the engine mode.
 """
 
 from __future__ import annotations
@@ -102,6 +110,26 @@ def _copy_payload(obj: Any) -> Any:
     return obj
 
 
+def _readonly_payload(obj: Any) -> Any:
+    """Zero-copy delivery: arrays become read-only views of the sender's
+    buffer (containers are rebuilt so the structure is private, the
+    array data is not)."""
+    if isinstance(obj, np.ndarray):
+        view = obj.view()
+        view.flags.writeable = False
+        return view
+    if isinstance(obj, list):
+        return [_readonly_payload(x) for x in obj]
+    if isinstance(obj, tuple):
+        return tuple(_readonly_payload(x) for x in obj)
+    if isinstance(obj, dict):
+        return {k: _readonly_payload(v) for k, v in obj.items()}
+    return obj
+
+
+_COPY_MODES = ("readonly", "defensive")
+
+
 _REDUCERS: Dict[str, Callable[[Any, Any], Any]] = {
     "sum": lambda a, b: a + b,
     "prod": lambda a, b: a * b,
@@ -109,16 +137,41 @@ _REDUCERS: Dict[str, Callable[[Any, Any], Any]] = {
     "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else max(a, b),
 }
 
+#: one-shot ufunc per named op for the stacked-array fast path
+_ARRAY_REDUCERS = {"sum": np.sum, "prod": np.prod, "min": np.min, "max": np.max}
+
 
 def _reduce_values(values: Sequence[Any], op) -> Any:
+    """Combine per-rank contributions into one reduction result.
+
+    Named ops on array payloads take a vectorised fast path: the
+    contributions are stacked and reduced with a single ufunc call
+    instead of a pairwise Python fold.  Shape-mismatched array
+    contributions (including scalars mixed with arrays) raise
+    :class:`CommError` — silently broadcasting them is never what a
+    distributed reduction means.
+    """
     if callable(op):
         fn = op
-    else:
-        try:
-            fn = _REDUCERS[op]
-        except KeyError:
-            raise CommError(f"unknown reduction op {op!r}") from None
-    acc = _copy_payload(values[0])
+        acc = _copy_payload(values[0])
+        for v in values[1:]:
+            acc = fn(acc, v)
+        return acc
+    try:
+        fn = _REDUCERS[op]
+    except KeyError:
+        raise CommError(f"unknown reduction op {op!r}") from None
+    if any(isinstance(v, np.ndarray) for v in values):
+        shapes = {v.shape if isinstance(v, np.ndarray) else () for v in values}
+        if len(shapes) != 1:
+            raise CommError(
+                f"{op} reduction over mismatched payload shapes {sorted(shapes)}; "
+                "all ranks must contribute arrays of one shape"
+            )
+        return _ARRAY_REDUCERS[op](np.stack(values), axis=0)
+    if len(values) == 1:
+        return _copy_payload(values[0])
+    acc = values[0]
     for v in values[1:]:
         acc = fn(acc, v)
     return acc
@@ -149,6 +202,23 @@ class _Op:
     color: Any = None
     key: int = 0
     words: Optional[float] = None
+    #: per-message copy override for sends (None = engine copy_mode)
+    copy: Optional[bool] = None
+    #: memoised payload_words(value) — computed at most once per op
+    wcache: Optional[float] = None
+
+
+def _op_words(op: "_Op") -> float:
+    """Payload size of an op in words, computed once and cached.
+
+    Collectives consult the size twice (ledger accounting and cost
+    model); caching keeps the recursive container walk off the hot path.
+    """
+    if op.words is not None:
+        return op.words
+    if op.wcache is None:
+        op.wcache = payload_words(op.value)
+    return op.wcache
 
 
 @dataclass
@@ -231,9 +301,17 @@ class Comm:
         return float(self._engine.clocks[self._grank])
 
     # -- point to point ----------------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int = 0, words: Optional[float] = None):
-        """Buffered send to local rank ``dest`` (never blocks)."""
-        yield _Op("send", self._group.cid, value=obj, dest=dest, tag=tag, words=words)
+    def send(self, obj: Any, dest: int, tag: int = 0, words: Optional[float] = None,
+             copy: Optional[bool] = None):
+        """Buffered send to local rank ``dest`` (never blocks).
+
+        ``copy`` overrides the engine's delivery mode for this message:
+        ``True`` forces a defensive deep copy, ``False`` forces the
+        zero-copy read-only fast path, ``None`` (default) follows
+        ``run_spmd``'s ``copy_mode``.
+        """
+        yield _Op("send", self._group.cid, value=obj, dest=dest, tag=tag,
+                  words=words, copy=copy)
 
     def recv(self, source: int, tag: int = 0):
         """Blocking receive from local rank ``source``."""
@@ -241,9 +319,10 @@ class Comm:
         return result
 
     def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0,
-                 words: Optional[float] = None):
+                 words: Optional[float] = None, copy: Optional[bool] = None):
         """Exchange: send ``obj`` to ``dest`` and receive from ``source``."""
-        yield _Op("send", self._group.cid, value=obj, dest=dest, tag=tag, words=words)
+        yield _Op("send", self._group.cid, value=obj, dest=dest, tag=tag,
+                  words=words, copy=copy)
         result = yield _Op("recv", self._group.cid, source=source, tag=tag)
         return result
 
@@ -325,8 +404,14 @@ class _RankState:
 
 
 class _Engine:
-    def __init__(self, nranks: int, machine: MachineModel, seed: SeedLike) -> None:
+    def __init__(self, nranks: int, machine: MachineModel, seed: SeedLike,
+                 copy_mode: str = "readonly") -> None:
+        if copy_mode not in _COPY_MODES:
+            raise CommError(
+                f"unknown copy_mode {copy_mode!r}; expected one of {_COPY_MODES}"
+            )
         self.machine = machine
+        self.copy_mode = copy_mode
         self.nranks = nranks
         self.clocks = np.zeros(nranks)
         self.comp_time = np.zeros(nranks)
@@ -375,6 +460,15 @@ class _Engine:
             s = self.stats[name] = CommStats.zeros(self.nranks)
         return s
 
+    def deliver(self, obj: Any, copy: Optional[bool] = None) -> Any:
+        """Prepare a payload for handing to a receiving rank.
+
+        ``copy=None`` follows the engine's ``copy_mode``; ``True``/
+        ``False`` force the defensive copy / zero-copy path per message.
+        """
+        defensive = (self.copy_mode == "defensive") if copy is None else copy
+        return _copy_payload(obj) if defensive else _readonly_payload(obj)
+
     def new_group(self, members: Sequence[int]) -> _Group:
         g = _Group(self._next_cid, tuple(members))
         self.groups[g.cid] = g
@@ -392,6 +486,7 @@ def run_spmd(
     *args: Any,
     machine: MachineModel = QDR_CLUSTER,
     seed: SeedLike = None,
+    copy_mode: str = "readonly",
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute rank program ``fn`` on ``nranks`` virtual ranks.
@@ -400,10 +495,17 @@ def run_spmd(
     plain function if it performs no communication).  Returns a
     :class:`~repro.parallel.trace.SpmdResult` with per-rank return
     values and the simulated timing accounts.
+
+    ``copy_mode`` selects payload-delivery semantics: ``"readonly"``
+    (default) delivers NumPy payloads as zero-copy read-only views,
+    ``"defensive"`` deep-copies every delivery (see the module
+    docstring's semantics notes).  The two modes are functionally
+    equivalent for rank programs that follow the no-mutation contract —
+    the determinism suite asserts identical results under both.
     """
     if nranks < 1:
         raise CommError(f"nranks must be >= 1, got {nranks}")
-    eng = _Engine(nranks, machine, seed)
+    eng = _Engine(nranks, machine, seed, copy_mode=copy_mode)
     world = eng.new_group(range(nranks))
     states: List[_RankState] = []
     for r in range(nranks):
@@ -478,13 +580,15 @@ def _do_send(eng: _Engine, grank: int, op: _Op) -> None:
     if not (0 <= op.dest < group.size):
         raise CommError(f"send dest {op.dest} out of range for comm size {group.size}")
     gdst = group.members[op.dest]
-    words = payload_words(op.value) if op.words is None else op.words
+    words = _op_words(op)
     t_post = float(eng.clocks[grank])
     # sender pays the injection overhead; transfer overlaps
     eng.charge_comm(grank, eng.machine.t_s)
     arrival = t_post + eng.machine.message_cost(words)
     key = (grank, gdst, op.tag, op.cid)
-    eng.mailbox.setdefault(key, deque()).append((arrival, words, _copy_payload(op.value)))
+    eng.mailbox.setdefault(key, deque()).append(
+        (arrival, words, eng.deliver(op.value, op.copy))
+    )
     eng.messages += 1
     eng.words_sent += words
     stats = eng.stats_for(grank)
@@ -574,10 +678,7 @@ def _count_collective(eng: _Engine, kind: str, parked: List[_RankState]) -> None
         g = s.grank
         stats = eng.stats_for(g)
         stats._coll_array(kind)[g] += 1
-        w = s.op.words
-        if w is None:
-            w = payload_words(s.op.value)
-        stats.collective_words[g] += w
+        stats.collective_words[g] += _op_words(s.op)
         wait = t0 - float(eng.clocks[g])
         if wait > 0:
             stats.wait_time[g] += wait
@@ -596,43 +697,40 @@ def _run_collective(eng: _Engine, group: _Group, kind: str, parked: List[_RankSt
         words = 0.0
         results = [None] * p
     elif kind == "bcast":
-        root_val = ops[ops[0].root].value
-        w0 = ops[ops[0].root].words
-        words = payload_words(root_val) if w0 is None else w0
-        results = [_copy_payload(root_val) for _ in range(p)]
+        rop = ops[ops[0].root]
+        words = _op_words(rop)
+        # zero-copy mode: every rank gets a fresh container skeleton over
+        # read-only views of the root's arrays; defensive: deep copies
+        results = [eng.deliver(rop.value) for _ in range(p)]
     elif kind == "reduce":
-        words = max(
-            (payload_words(o.value) if o.words is None else o.words) for o in ops
-        )
+        words = max(_op_words(o) for o in ops)
         red = _reduce_values([o.value for o in ops], ops[0].op)
         results = [red if i == ops[0].root else None for i in range(p)]
     elif kind == "allreduce":
-        words = max(
-            (payload_words(o.value) if o.words is None else o.words) for o in ops
-        )
+        words = max(_op_words(o) for o in ops)
         red = _reduce_values([o.value for o in ops], ops[0].op)
-        results = [_copy_payload(red) for _ in range(p)]
+        results = [eng.deliver(red) for _ in range(p)]
     elif kind == "scan":
-        words = max(
-            (payload_words(o.value) if o.words is None else o.words) for o in ops
-        )
+        words = max(_op_words(o) for o in ops)
         results = []
         acc = None
         for o in ops:
             acc = _copy_payload(o.value) if acc is None else _reduce_values([acc, o.value], o.op)
-            results.append(_copy_payload(acc))
+            results.append(eng.deliver(acc))
     elif kind == "gather":
-        words = max(
-            (payload_words(o.value) if o.words is None else o.words) for o in ops
-        )
-        gathered = [_copy_payload(o.value) for o in ops]
+        words = max(_op_words(o) for o in ops)
+        gathered = [eng.deliver(o.value) for o in ops]
         results = [gathered if i == ops[0].root else None for i in range(p)]
     elif kind == "allgather":
-        words = max(
-            (payload_words(o.value) if o.words is None else o.words) for o in ops
-        )
-        gathered = [o.value for o in ops]
-        results = [_copy_payload(gathered) for _ in range(p)]
+        words = max(_op_words(o) for o in ops)
+        if eng.copy_mode == "readonly":
+            # deliver each contribution once; ranks get private list
+            # skeletons over the shared read-only array views
+            items = [eng.deliver(o.value) for o in ops]
+            results = [list(items) for _ in range(p)]
+        else:
+            gathered = [o.value for o in ops]
+            results = [_copy_payload(gathered) for _ in range(p)]
     elif kind == "scatter":
         rop = ops[ops[0].root]
         vals = rop.value
@@ -645,7 +743,7 @@ def _run_collective(eng: _Engine, group: _Group, kind: str, parked: List[_RankSt
             max(payload_words(v) for v in vals)
             if rop.words is None else rop.words / p
         )
-        results = [_copy_payload(v) for v in vals]
+        results = [eng.deliver(v) for v in vals]
     elif kind == "alltoall":
         for o in ops:
             if o.value is None or len(o.value) != p:
@@ -655,7 +753,7 @@ def _run_collective(eng: _Engine, group: _Group, kind: str, parked: List[_RankSt
             for o in ops
         )
         results = [
-            [_copy_payload(ops[src].value[dst]) for src in range(p)]
+            [eng.deliver(ops[src].value[dst]) for src in range(p)]
             for dst in range(p)
         ]
     elif kind == "exchange":
@@ -671,7 +769,7 @@ def _run_collective(eng: _Engine, group: _Group, kind: str, parked: List[_RankSt
                     raise CommError(f"exchange neighbour {dst} out of range")
                 if dst == i:
                     raise CommError("exchange to self is not allowed")
-                inboxes[dst][i] = _copy_payload(payload)
+                inboxes[dst][i] = eng.deliver(payload)
             out_words[i] = (
                 o.words if o.words is not None
                 else sum(payload_words(v) for v in msgs.values())

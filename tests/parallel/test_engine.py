@@ -68,14 +68,15 @@ class TestCollectives:
 
         assert run0(prog, 4) == [1, 1, 1, 1]
 
-    def test_bcast_copies_arrays(self):
+    def test_bcast_copies_arrays_defensive(self):
         def prog(comm):
             arr = np.zeros(3) if comm.rank == 0 else None
             out = yield from comm.bcast(arr, root=0)
             out += comm.rank  # must not alias other ranks' copies
             return float(out.sum())
 
-        assert run0(prog, 3) == [0.0, 3.0, 6.0]
+        res = run_spmd(prog, 3, machine=ZERO_COST, copy_mode="defensive")
+        assert res.values == [0.0, 3.0, 6.0]
 
     def test_reduce_sum_at_root(self):
         def prog(comm):
@@ -216,7 +217,7 @@ class TestPointToPoint:
 
         assert run0(prog, 2)[1] == ("high", "low")
 
-    def test_recv_copies_payload(self):
+    def test_recv_copies_payload_defensive(self):
         def prog(comm):
             if comm.rank == 0:
                 arr = np.ones(4)
@@ -228,7 +229,7 @@ class TestPointToPoint:
             yield from comm.barrier()
             return got.sum()
 
-        vals = run0(prog, 2)
+        vals = run_spmd(prog, 2, machine=ZERO_COST, copy_mode="defensive").values
         assert vals == [4.0, 400.0]
 
     def test_deadlock_detected(self):
@@ -566,3 +567,148 @@ class TestCommStats:
         assert stats.total_messages == 0
         assert stats.total_words == 0.0
         assert stats.collective_invocations(stats.collective_ops) == 0
+
+
+class TestCopyModes:
+    """Zero-copy (``readonly``) vs deep-copy (``defensive``) delivery."""
+
+    def test_invalid_copy_mode_rejected(self):
+        def prog(comm):
+            return comm.rank
+            yield  # pragma: no cover
+
+        with pytest.raises(CommError, match="copy_mode"):
+            run_spmd(prog, 2, machine=ZERO_COST, copy_mode="fast")
+
+    def test_readonly_send_delivers_readonly_view(self):
+        def prog(comm):
+            if comm.rank == 0:
+                arr = np.arange(4.0)
+                yield from comm.send(arr, dest=1)
+                return arr.base is None  # sender keeps its own array
+            got = yield from comm.recv(source=0)
+            assert not got.flags.writeable
+            with pytest.raises(ValueError):
+                got[0] = 99.0
+            return float(got.sum())
+
+        vals = run0(prog, 2, copy_mode="readonly")
+        assert vals == [True, 6.0]
+
+    def test_readonly_bcast_and_allgather_arrays_are_readonly(self):
+        def prog(comm):
+            arr = np.full(3, float(comm.rank))
+            got = yield from comm.bcast(arr, root=0)
+            gathered = yield from comm.allgather(arr)
+            assert not got.flags.writeable
+            assert all(not g.flags.writeable for g in gathered)
+            # container structure is private per rank: mutating my list
+            # must not leak anywhere
+            gathered.append(None)
+            return float(got[0]) + sum(float(g[0]) for g in gathered[:-1])
+
+        vals = run0(prog, 3, copy_mode="readonly")
+        assert vals == [3.0, 3.0, 3.0]
+
+    def test_readonly_exchange_arrays_are_readonly(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            got = yield from comm.exchange({right: np.ones(2) * comm.rank})
+            left = (comm.rank - 1) % comm.size
+            assert not got[left].flags.writeable
+            return float(got[left][0])
+
+        assert run0(prog, 3, copy_mode="readonly") == [2.0, 0.0, 1.0]
+
+    def test_readonly_delivery_shares_sender_memory(self):
+        def prog(comm):
+            if comm.rank == 0:
+                arr = np.arange(8.0)
+                yield from comm.send(arr, dest=1)
+                return None
+            got = yield from comm.recv(source=0)
+            return got.base is not None  # a view, not a copy
+
+        assert run0(prog, 2, copy_mode="readonly")[1] is True
+
+    def test_defensive_isolates_sender_memory(self):
+        def prog(comm):
+            if comm.rank == 0:
+                arr = np.arange(4.0)
+                yield from comm.send(arr, dest=1)
+                arr[:] = -1.0  # mutate after post: receiver unaffected
+                yield from comm.barrier()
+                return None
+            got = yield from comm.recv(source=0)
+            yield from comm.barrier()
+            got[0] = 42.0  # and the copy is writable
+            return float(got.sum())
+
+        vals = run0(prog, 2, copy_mode="defensive")
+        assert vals[1] == 42.0 + 1.0 + 2.0 + 3.0
+
+    def test_send_copy_override_wins_over_mode(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.ones(3), dest=1, copy=True)
+                yield from comm.send(np.ones(3), dest=1, copy=False)
+                return None
+            a = yield from comm.recv(source=0)
+            b = yield from comm.recv(source=0)
+            return (a.flags.writeable, b.flags.writeable)
+
+        # per-send override beats the engine default in both directions
+        assert run0(prog, 2, copy_mode="readonly")[1] == (True, False)
+        assert run0(prog, 2, copy_mode="defensive")[1] == (True, False)
+
+    def test_nested_containers_rebuilt_arrays_shared(self):
+        def prog(comm):
+            if comm.rank == 0:
+                payload = {"xs": [np.ones(2), np.zeros(2)], "tag": "t"}
+                yield from comm.send(payload, dest=1)
+                return None
+            got = yield from comm.recv(source=0)
+            # dict/list skeleton is mine to mutate; leaves are read-only
+            got["extra"] = 1
+            got["xs"].append(None)
+            assert not got["xs"][0].flags.writeable
+            return got["tag"]
+
+        assert run0(prog, 2, copy_mode="readonly")[1] == "t"
+
+    def test_results_identical_across_modes(self):
+        def prog(comm):
+            rng_val = float(comm.rng.random())
+            arr = np.full(4, float(comm.rank + 1))
+            red = yield from comm.allreduce(arr, op="sum")
+            gathered = yield from comm.allgather(comm.rank * 2)
+            return (rng_val, float(red.sum()), tuple(gathered))
+
+        a = run0(prog, 4, copy_mode="readonly")
+        b = run0(prog, 4, copy_mode="defensive")
+        assert a == b
+
+
+class TestReduceShapeValidation:
+    def test_mismatched_array_shapes_raise(self):
+        def prog(comm):
+            arr = np.ones(comm.rank + 1)  # different length per rank
+            yield from comm.allreduce(arr, op="sum")
+
+        with pytest.raises(CommError, match="shape"):
+            run0(prog, 2)
+
+    def test_mixed_scalar_and_array_raise(self):
+        def prog(comm):
+            val = np.ones(3) if comm.rank == 0 else 1.0
+            yield from comm.allreduce(val, op="sum")
+
+        with pytest.raises(CommError, match="shape"):
+            run0(prog, 2)
+
+    def test_matching_shapes_still_reduce(self):
+        def prog(comm):
+            red = yield from comm.allreduce(np.ones(3), op="max")
+            return float(red[0])
+
+        assert run0(prog, 3) == [1.0, 1.0, 1.0]

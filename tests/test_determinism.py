@@ -11,6 +11,7 @@ here at full-pipeline granularity.
 import json
 
 import numpy as np
+import pytest
 
 from repro.core.config import ScalaPartConfig
 from repro.core.parallel import scalapart_parallel
@@ -22,15 +23,16 @@ SEED = 1234
 CFG = ScalaPartConfig(coarsest_iters=60, smooth_iters=6)
 
 
-def _run():
+def _run(copy_mode="readonly"):
     g = random_delaunay(500, seed=21).graph
-    return scalapart_parallel(g, P, CFG, seed=SEED)
+    return scalapart_parallel(g, P, CFG, seed=SEED, copy_mode=copy_mode)
 
 
 class TestScalaPartDeterminism:
-    def test_identical_partition_phases_and_counters(self):
-        a = _run()
-        b = _run()
+    @pytest.mark.parametrize("copy_mode", ["readonly", "defensive"])
+    def test_identical_partition_phases_and_counters(self, copy_mode):
+        a = _run(copy_mode)
+        b = _run(copy_mode)
 
         # partition vector: byte-identical
         assert a.bisection.side.tobytes() == b.bisection.side.tobytes()
@@ -55,6 +57,18 @@ class TestScalaPartDeterminism:
 
         # and therefore the serialised traces agree record-for-record
         assert list(trace_records(ta)) == list(trace_records(tb))
+
+    def test_copy_modes_agree(self):
+        """The zero-copy fast path must be observationally identical to
+        defensive deep-copying: same partition, clocks and ledger."""
+        a = _run("readonly")
+        b = _run("defensive")
+        assert a.bisection.side.tobytes() == b.bisection.side.tobytes()
+        ta, tb = a.extras["trace"], b.extras["trace"]
+        assert ta.clocks.tobytes() == tb.clocks.tobytes()
+        assert json.dumps(ta.comm_stats.to_dict()) == json.dumps(
+            tb.comm_stats.to_dict()
+        )
 
     def test_different_seed_changes_trace(self):
         g = random_delaunay(500, seed=21).graph
