@@ -1,6 +1,5 @@
 """Ablation: FM vs KL refinement (the classical pair the paper cites)."""
 
-import numpy as np
 
 from repro.bench import BENCH_SEED, bench_coords, bench_graph, format_table
 from repro.geometric.gmt import g7_nl

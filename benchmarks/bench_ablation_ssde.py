@@ -9,7 +9,6 @@ hybrid: SSDE coordinates smoothed with a few fixed-lattice iterations.
 
 import time
 
-import numpy as np
 
 from repro.bench import BENCH_SEED, bench_graph, format_table
 from repro.core.scalapart import sp_pg7_nl

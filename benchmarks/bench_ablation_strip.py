@@ -4,7 +4,6 @@ The paper attributes ScalaPart's quality edge over G30/G7-NL to the
 Fiduccia–Mattheyses strip refinement; this bench quantifies it.
 """
 
-import numpy as np
 
 from repro.bench import BENCH_SEED, bench_coords, bench_graph, format_table
 from repro.core.config import ScalaPartConfig

@@ -6,7 +6,6 @@ ScalaPart's best cuts across P beat G30 substantially (−32% in the
 paper) thanks to the strip refinement.
 """
 
-import re
 
 import numpy as np
 

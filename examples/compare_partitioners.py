@@ -3,24 +3,19 @@
 
 Reproduces a single row of the paper's evaluation: quality (cut size)
 and simulated parallel execution time at a chosen processor count for
-ScalaPart, the ParMetis/Pt-Scotch analogues, RCB, the sequential
-geometric partitioners (G30/G7/G7-NL) and spectral bisection.
+every method in the central registry — ScalaPart, the
+ParMetis/Pt-Scotch analogues, RCB, the sequential geometric
+partitioners (G30/G7/G7-NL) and spectral bisection.  Methods registered
+later show up here automatically.
 
 Run:  python examples/compare_partitioners.py [n_vertices] [P]
 """
 
 import sys
 
-from repro.baselines import rcb_bisect, spectral_bisect
-from repro.core import ScalaPartConfig
-from repro.core.parallel import (
-    parmetis_parallel,
-    rcb_parallel,
-    scalapart_parallel,
-    scotch_parallel,
-)
+from repro.core.methods import METHOD_REGISTRY
+from repro.core.parallel import run_parallel
 from repro.embed import hu_layout
-from repro.geometric import g30, g7, g7_nl
 from repro.graph.generators import random_delaunay
 
 n = int(sys.argv[1]) if len(sys.argv) > 1 else 5000
@@ -33,33 +28,18 @@ print(f"graph: n={graph.num_vertices} m={graph.num_edges}; P={p} virtual ranks\n
 coords = hu_layout(graph, seed=8)
 
 rows = []
-
-# --- distributed methods on the virtual machine ----------------------
-for name, run in [
-    ("ScalaPart", lambda: scalapart_parallel(graph, p, ScalaPartConfig(), seed=1)),
-    ("ParMetis-like", lambda: parmetis_parallel(graph, p, seed=1)),
-    ("Pt-Scotch-like", lambda: scotch_parallel(graph, p, seed=1)),
-    ("RCB (parallel)", lambda: rcb_parallel(graph, coords, p)),
-]:
-    res = run()
-    rows.append((name, res.cut_size, f"{res.imbalance:.3f}",
-                 f"{res.seconds * 1e3:.3f} ms (simulated)"))
-
-# --- sequential references -------------------------------------------
-for name, run in [
-    ("G30", lambda: g30(graph, coords, seed=2)),
-    ("G7", lambda: g7(graph, coords, seed=2)),
-    ("G7-NL", lambda: g7_nl(graph, coords, seed=2)),
-]:
-    res = run()
-    rows.append((name, res.cut_size,
-                 f"{res.bisection.imbalance:.3f}", "(sequential)"))
-
-spec = spectral_bisect(graph, seed=3)
-rows.append(("Spectral+FM", spec.cut_size, f"{spec.imbalance:.3f}",
-             f"{spec.seconds * 1e3:.1f} ms (wall)"))
+for name, spec in METHOD_REGISTRY.items():
+    c = coords if spec.needs_coords else None
+    if spec.traceable:
+        res = run_parallel(spec, graph, p, coords=c, seed=1)
+        rows.append((name, res.cut_size, f"{res.imbalance:.3f}",
+                     f"{res.seconds * 1e3:.3f} ms (simulated)"))
+    else:
+        res = spec.sequential(graph, c, seed=2)
+        rows.append((name, res.cut_size, f"{res.imbalance:.3f}",
+                     "(sequential)"))
 
 w = max(len(r[0]) for r in rows)
 print(f"{'method'.ljust(w)}  {'cut':>6}  {'imbal':>6}  time")
-for name, cut, imb, t in rows:
-    print(f"{name.ljust(w)}  {cut:>6}  {imb:>6}  {t}")
+for name, cut, imbal, t in rows:
+    print(f"{name.ljust(w)}  {cut:>6}  {imbal:>6}  {t}")

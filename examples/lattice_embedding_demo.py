@@ -54,7 +54,7 @@ exact = repulsive_forces_exact(pos, graph.vwgt)
 cos = (approx * exact).sum(axis=1) / (
     np.linalg.norm(approx, axis=1) * np.linalg.norm(exact, axis=1) + 1e-12
 )
-print(f"\nlattice vs exact repulsion: median direction agreement "
+print("\nlattice vs exact repulsion: median direction agreement "
       f"cos = {np.median(cos):.3f} (1.0 = identical)")
 
 # --- the full multilevel embedding on a coordinate-free graph ----------

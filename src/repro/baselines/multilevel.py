@@ -28,7 +28,6 @@ import numpy as np
 
 from ..coarsen import build_hierarchy
 from ..results import PartitionResult
-from ..errors import PartitionError
 from ..graph.csr import CSRGraph
 from ..graph.partition import Bisection
 from ..refine import fm_refine

@@ -29,13 +29,10 @@ RCB
 
 from __future__ import annotations
 
-import math
-from typing import Optional, Tuple
 
 import numpy as np
 
 from ..coarsen.parallel import dist_build_hierarchy
-from ..errors import PartitionError
 from ..graph.csr import CSRGraph
 from ..graph.distributed import adjacency_slots, block_of, block_starts
 from ..graph.partition import Bisection

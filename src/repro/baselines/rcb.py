@@ -15,7 +15,7 @@ reimplemented here:
 from __future__ import annotations
 
 import time
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import time
 import warnings
-from typing import Optional
 
 import numpy as np
 

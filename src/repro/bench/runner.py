@@ -15,25 +15,12 @@ import json
 import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-import numpy as np
-
-from ..baselines.multilevel import parmetis_like, scotch_like
-from ..baselines.rcb import rcb_bisect
-from ..baselines.spectral import spectral_bisect
-from ..core.config import ScalaPartConfig
-from ..core.parallel import (
-    parmetis_parallel,
-    rcb_parallel,
-    scalapart_parallel,
-    scotch_parallel,
-    sp_pg7_nl_parallel,
-)
+from ..core.methods import METHOD_REGISTRY, get_method
+from ..core.parallel import run_parallel
 from ..results import PartitionResult
-from ..core.scalapart import scalapart, sp_pg7_nl
 from ..errors import ConfigError
-from ..geometric.gmt import g30, g7, g7_nl
 from .workloads import BENCH_SCALE, BENCH_SEED, MACHINE, bench_coords, bench_graph
 
 __all__ = ["RunRecord", "run_method", "sweep", "METHODS", "clear_cache"]
@@ -65,54 +52,38 @@ class RunRecord:
         return f"{self.method}/{self.graph}/P{self.p}"
 
 
-#: method name -> needs_coords flag; parallel methods take a P argument.
-METHODS = {
-    "ScalaPart": False,
-    "SP-PG7-NL": True,
-    "ParMetis-like": False,
-    "Pt-Scotch-like": False,
-    "RCB": True,
-    # sequential (P ignored; quality references of Table 2)
-    "G30": True,
-    "G7": True,
-    "G7-NL": True,
-    "Spectral": False,
+#: method name -> needs_coords flag (a registry view kept for
+#: backwards compatibility; parallel methods take a P argument).
+METHODS: Dict[str, bool] = {
+    name: spec.needs_coords for name, spec in METHOD_REGISTRY.items()
 }
 
 
 def _cache_key(method: str, graph: str, p: int) -> str:
-    raw = f"{method}|{graph}|{p}|{BENCH_SCALE}|{BENCH_SEED}|v5"
+    # v6: _execute became registry-driven dispatch (MethodSpec-based) —
+    # the dispatch path changed but the per-cell results did not; the
+    # bump only guards against stale v5 records whose sequential
+    # geometric cells lacked timings/extras.
+    raw = f"{method}|{graph}|{p}|{BENCH_SCALE}|{BENCH_SEED}|v6"
     return hashlib.sha1(raw.encode()).hexdigest()[:20]
 
 
 def _execute(method: str, graph_name: str, p: int) -> PartitionResult:
+    if method not in METHODS:
+        raise ConfigError(
+            f"unknown bench method {method!r}; known: {list(METHODS)}"
+        )
+    spec = get_method(method)
     gg = bench_graph(graph_name)
     g = gg.graph
-    seed = BENCH_SEED ^ (p * 7919)
-    cfg = ScalaPartConfig()
-    if method == "ScalaPart":
-        return scalapart_parallel(g, p, cfg, seed=seed, machine=MACHINE)
-    if method == "SP-PG7-NL":
-        return sp_pg7_nl_parallel(g, bench_coords(graph_name), p, cfg,
-                                  seed=seed, machine=MACHINE)
-    if method == "ParMetis-like":
-        return parmetis_parallel(g, p, seed=seed, machine=MACHINE)
-    if method == "Pt-Scotch-like":
-        return scotch_parallel(g, p, seed=seed, machine=MACHINE)
-    if method == "RCB":
-        return rcb_parallel(g, bench_coords(graph_name), p, machine=MACHINE)
-    if method == "G30":
-        res = g30(g, bench_coords(graph_name), seed=BENCH_SEED)
-        return PartitionResult(res.bisection, "G30")
-    if method == "G7":
-        res = g7(g, bench_coords(graph_name), seed=BENCH_SEED)
-        return PartitionResult(res.bisection, "G7")
-    if method == "G7-NL":
-        res = g7_nl(g, bench_coords(graph_name), seed=BENCH_SEED)
-        return PartitionResult(res.bisection, "G7-NL")
-    if method == "Spectral":
-        return spectral_bisect(g, seed=BENCH_SEED)
-    raise ConfigError(f"unknown bench method {method!r}; known: {list(METHODS)}")
+    coords = bench_coords(graph_name) if spec.needs_coords else None
+    if spec.traceable:
+        # parallel methods: the engine seed varies with P (Tables 2–3
+        # report cut ranges across P)
+        return run_parallel(spec, g, p, coords=coords,
+                            seed=BENCH_SEED ^ (p * 7919), machine=MACHINE)
+    # sequential quality references (P ignored; Table 2)
+    return spec.sequential(g, coords, seed=BENCH_SEED)
 
 
 def run_method(method: str, graph_name: str, p: int = 1,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import functools
 import os
-from typing import Dict, List, Tuple
+from typing import List
 
 import numpy as np
 

@@ -3,8 +3,12 @@
 Downstream adoption path: any graph in the standard METIS format can be
 partitioned without writing Python::
 
-    python -m repro partition mesh.graph --k 8 --method scalapart --out mesh.part
+    python -m repro partition mesh.graph --parts 8 --method scalapart --out mesh.part
     python -m repro partition mesh.graph --method rcb --coords mesh.xy
+
+Method choices come straight from the central registry
+(:mod:`repro.core.methods`): registering a new method makes it
+available here with no CLI changes.
     python -m repro info mesh.graph
     python -m repro embed mesh.graph --out mesh.xy
     python -m repro trace mesh.graph --nranks 64 --profile mesh.trace.jsonl
@@ -22,43 +26,16 @@ from typing import List, Optional
 
 import numpy as np
 
-from .baselines.multilevel import parmetis_like, scotch_like
-from .baselines.rcb import rcb_bisect
-from .baselines.spectral import spectral_bisect
 from .core.config import ScalaPartConfig
-from .core.parallel import (
-    parmetis_parallel,
-    rcb_parallel,
-    scalapart_parallel,
-    scotch_parallel,
-    sp_pg7_nl_parallel,
-)
+from .core.methods import cli_choices, get_method
+from .core.parallel import run_parallel
 from .core.recursive import recursive_bisection
-from .core.scalapart import scalapart, sp_pg7_nl
 from .embed.multilevel import hu_layout, multilevel_embedding
 from .errors import ReproError
 from .graph.io import read_coords, read_metis, write_coords
 from .parallel.trace import SpmdResult, write_trace_jsonl
 
 __all__ = ["main"]
-
-_METHODS = {
-    "scalapart": (scalapart, False),
-    "sp-pg7-nl": (sp_pg7_nl, True),
-    "parmetis": (parmetis_like, False),
-    "scotch": (scotch_like, False),
-    "rcb": (rcb_bisect, True),
-    "spectral": (spectral_bisect, False),
-}
-
-#: method -> needs_coords, for the simulated-parallel ``trace`` command.
-_TRACE_METHODS = {
-    "scalapart": False,
-    "sp-pg7-nl": True,
-    "parmetis": False,
-    "scotch": False,
-    "rcb": True,
-}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,11 +47,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("partition", help="partition a METIS-format graph")
     p.add_argument("graph", help="input graph (METIS format)")
-    p.add_argument("--method", default="scalapart", choices=sorted(_METHODS))
-    p.add_argument("--k", type=int, default=2, help="number of parts")
+    p.add_argument("--method", default="scalapart", choices=cli_choices())
+    p.add_argument("--k", "--parts", type=int, default=2, dest="k",
+                   help="number of parts (k > 2 routes through recursive "
+                        "bisection with the chosen method)")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--coords", help="coordinate file for rcb/sp-pg7-nl "
-                                    "(default: compute a Hu layout)")
+    p.add_argument("--coords", help="coordinate file for coordinate-based "
+                                    "methods (default: compute a Hu layout)")
     p.add_argument("--out", help="write part ids here (default: stdout)")
     p.add_argument("--max-imbalance", type=float, default=0.05)
 
@@ -94,7 +73,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     t.add_argument("graph", help="input graph (METIS format)")
     t.add_argument("--method", default="scalapart",
-                   choices=sorted(_TRACE_METHODS))
+                   choices=cli_choices(traceable_only=True))
     t.add_argument("--nranks", type=int, default=16,
                    help="virtual ranks to simulate")
     t.add_argument("--seed", type=int, default=0)
@@ -122,21 +101,20 @@ def _load_coords(args, graph):
 
 def _cmd_partition(args) -> int:
     graph = read_metis(args.graph)
-    fn, needs_coords = _METHODS[args.method]
-    coords = _load_coords(args, graph) if needs_coords else None
+    spec = get_method(args.method)
+    coords = _load_coords(args, graph) if spec.needs_coords else None
     t0 = time.perf_counter()
     if args.k == 2:
-        a = (graph,) if coords is None else (graph, coords)
-        res = fn(*a, seed=args.seed)
+        res = spec.sequential(graph, coords, seed=args.seed)
         parts = res.bisection.side.astype(np.int64)
-        cut = res.bisection.cut_size
-        imbal = res.bisection.imbalance
+        quality = (f"cut={res.bisection.cut_size} "
+                   f"imbalance={res.bisection.imbalance:.4f}")
     else:
-        kres = recursive_bisection(graph, args.k, fn, coords=coords,
+        kres = recursive_bisection(graph, args.k, args.method, coords=coords,
                                    seed=args.seed)
         parts = kres.parts
-        cut = kres.cut_size
-        imbal = kres.imbalance
+        quality = (f"kway_cut={kres.cut_size} "
+                   f"kway_imbalance={kres.imbalance:.4f}")
     dt = time.perf_counter() - t0
     text = "\n".join(str(int(x)) for x in parts) + "\n"
     if args.out:
@@ -144,8 +122,8 @@ def _cmd_partition(args) -> int:
             fh.write(text)
     else:
         sys.stdout.write(text)
-    print(f"# method={args.method} k={args.k} cut={cut} "
-          f"imbalance={imbal:.4f} time={dt:.3f}s", file=sys.stderr)
+    print(f"# method={args.method} k={args.k} {quality} time={dt:.3f}s",
+          file=sys.stderr)
     return 0
 
 
@@ -195,22 +173,13 @@ def _print_trace_report(res: SpmdResult, method: str) -> None:
 
 def _cmd_trace(args) -> int:
     graph = read_metis(args.graph)
-    needs_coords = _TRACE_METHODS[args.method]
-    coords = _load_coords(args, graph) if needs_coords else None
-    cfg = ScalaPartConfig()
+    spec = get_method(args.method)
+    coords = _load_coords(args, graph) if spec.needs_coords else None
+    cfg = None
     if args.block_size is not None:
         cfg = ScalaPartConfig(block_size=args.block_size)
-    if args.method == "scalapart":
-        res = scalapart_parallel(graph, args.nranks, cfg, seed=args.seed)
-    elif args.method == "sp-pg7-nl":
-        res = sp_pg7_nl_parallel(graph, coords, args.nranks, cfg,
-                                 seed=args.seed)
-    elif args.method == "parmetis":
-        res = parmetis_parallel(graph, args.nranks, seed=args.seed)
-    elif args.method == "scotch":
-        res = scotch_parallel(graph, args.nranks, seed=args.seed)
-    else:
-        res = rcb_parallel(graph, coords, args.nranks)
+    res = run_parallel(spec, graph, args.nranks, coords=coords, config=cfg,
+                       seed=args.seed)
     trace: SpmdResult = res.extras["trace"]
     _print_trace_report(trace, res.method)
     print(f"cut={res.bisection.cut_size} "

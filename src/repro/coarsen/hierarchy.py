@@ -14,14 +14,14 @@ and the multilevel partitioners (partition sides flow down).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 import numpy as np
 
 from ..errors import GraphError
 from ..graph.csr import CSRGraph
-from ..rng import SeedLike, as_generator, derive_seed
+from ..rng import SeedLike, derive_seed
 from .contract import contract, project_labels
 from .matching import heavy_edge_matching
 

@@ -26,7 +26,7 @@ of ``v`` (or ``v`` itself for unmatched vertices); it is an involution
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 import numpy as np
 

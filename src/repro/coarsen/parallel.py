@@ -24,22 +24,15 @@ carries the coarse graph's redistribution volume).
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from ..errors import GraphError
 from ..graph.csr import CSRGraph
-from ..graph.distributed import (
-    Shared,
-    block_adjacency_slots,
-    block_of,
-    block_starts,
-)
+from ..graph.distributed import block_adjacency_slots, block_of, block_starts
 from ..parallel.engine import Comm
 from ..parallel.patterns import allgather_concat, share_from_root
-from ..rng import SeedLike
 from .hierarchy import _STALL_RATIO
 from .contract import contract
 

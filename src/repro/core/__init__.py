@@ -1,11 +1,13 @@
-"""ScalaPart core: configuration, results, sequential and parallel drivers."""
+"""ScalaPart core: configuration, results, registry, stages, drivers."""
 
 from .complexity import ComplexityModel
 from .config import ScalaPartConfig
+from .methods import METHOD_REGISTRY, MethodSpec, get_method, register_method
 from .parallel import (
     dist_scalapart,
     parmetis_parallel,
     rcb_parallel,
+    run_parallel,
     scalapart_parallel,
     scotch_parallel,
     sp_pg7_nl_parallel,
@@ -13,6 +15,15 @@ from .parallel import (
 from .recursive import KWayResult, kway_cut, kway_imbalance, recursive_bisection
 from ..results import PartitionResult
 from .scalapart import scalapart, sp_pg7_nl
+from .stages import (
+    EMBED_STAGE,
+    GEOMETRIC_STAGE,
+    STRIP_REFINE_STAGE,
+    EmbeddingArtifact,
+    GeometricArtifact,
+    RefineArtifact,
+    StageArtifact,
+)
 
 __all__ = [
     "ComplexityModel",
@@ -25,9 +36,21 @@ __all__ = [
     "scalapart",
     "sp_pg7_nl",
     "dist_scalapart",
+    "run_parallel",
     "parmetis_parallel",
     "rcb_parallel",
     "scalapart_parallel",
     "scotch_parallel",
     "sp_pg7_nl_parallel",
+    "METHOD_REGISTRY",
+    "MethodSpec",
+    "get_method",
+    "register_method",
+    "StageArtifact",
+    "EmbeddingArtifact",
+    "GeometricArtifact",
+    "RefineArtifact",
+    "EMBED_STAGE",
+    "GEOMETRIC_STAGE",
+    "STRIP_REFINE_STAGE",
 ]

@@ -1,38 +1,37 @@
-"""Distributed ScalaPart and host-level runners for every method.
+"""Registry-driven host runner for the distributed methods.
 
-:func:`dist_scalapart` is the rank program combining the three stages
-of paper §3 on the virtual machine (phases are labelled so Figures 7–8
-can be regenerated from the trace).  The ``*_parallel`` host wrappers
-below run a method on ``P`` virtual ranks and package the outcome as a
+:func:`run_parallel` runs any registered method on ``P`` virtual ranks
+and packages the outcome as a
 :class:`~repro.results.PartitionResult` whose ``seconds`` is the
 *simulated* execution time — the quantity the paper's Figures 3–6/9
 plot — and whose ``stage_seconds`` carries the per-phase breakdown.
+The five historical ``*_parallel`` wrappers remain as thin aliases.
+
+:func:`dist_scalapart` is the rank program combining the three shared
+pipeline stages of paper §3 (phases are labelled so Figures 7–8 can be
+regenerated from the trace).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Optional
 
 import numpy as np
 
-from ..baselines.parallel_ml import (
-    dist_parmetis_like,
-    dist_rcb_bisect,
-    dist_scotch_like,
-)
-from ..embed.parallel import dist_multilevel_embedding
-from ..errors import PartitionError
-from ..geometric.parallel import dist_sp_pg7_nl
+from ..errors import ConfigError, PartitionError
 from ..graph.csr import CSRGraph
 from ..graph.partition import Bisection
-from ..parallel.engine import Comm, run_spmd
+from ..parallel.engine import run_spmd
 from ..parallel.machine import MachineModel, QDR_CLUSTER
 from ..parallel.trace import SpmdResult
 from ..rng import SeedLike, derive_seed
 from .config import ScalaPartConfig
+from .methods import MethodSpec, get_method
+from .stages import as_coords
 from ..results import PartitionResult
 
 __all__ = [
+    "run_parallel",
     "dist_scalapart",
     "scalapart_parallel",
     "sp_pg7_nl_parallel",
@@ -43,29 +42,18 @@ __all__ = [
 
 
 def dist_scalapart(
-    comm: Comm,
+    comm,
     graph: CSRGraph,
     config: Optional[ScalaPartConfig] = None,
     seed: SeedLike = None,
 ):
-    """Rank program: full distributed ScalaPart (coarsen→embed→partition)."""
-    cfg = config or ScalaPartConfig()
-    pos, emb_info = yield from dist_multilevel_embedding(
-        comm,
-        graph,
-        coarsest_size=cfg.coarsest_size,
-        coarsest_iters=cfg.coarsest_iters,
-        smooth_iters=cfg.smooth_iters,
-        block_size=cfg.block_size,
-        c=cfg.c,
-        jitter=cfg.jitter,
-        seed=derive_seed(seed, 0xE3BED0),
-    )
-    comm.set_phase("partition")
-    side, info = yield from dist_sp_pg7_nl(
-        comm, graph, pos, config=cfg, seed=seed
-    )
-    return side, {**info, **emb_info, "pos": pos}
+    """Rank program: full distributed ScalaPart (coarsen→embed→partition).
+
+    Kept for API compatibility; delegates to the registry's rank
+    program, which composes the shared stage objects.
+    """
+    prog = get_method("ScalaPart").distributed
+    return (yield from prog(comm, graph, config=config, seed=seed))
 
 
 def _package(
@@ -74,6 +62,11 @@ def _package(
     method: str,
     max_imbalance: Optional[float] = None,
 ) -> PartitionResult:
+    """Package an SPMD run; validate balance when a bound is declared.
+
+    ``max_imbalance`` is the method's declared ``balance_bound`` (wired
+    through by :func:`run_parallel`); ``None`` skips validation.
+    """
     side, info = res.values[0]
     bis = Bisection(graph, np.asarray(side, dtype=np.int8))
     # phases are hierarchical ("embed/refresh" ⊂ "embed"): report every
@@ -105,6 +98,61 @@ def _package(
     return out
 
 
+def run_parallel(
+    method,
+    graph: CSRGraph,
+    nranks: int,
+    *,
+    coords=None,
+    config: Optional[ScalaPartConfig] = None,
+    seed: SeedLike = None,
+    machine: MachineModel = QDR_CLUSTER,
+    copy_mode: str = "readonly",
+    max_imbalance: Optional[float] = None,
+) -> PartitionResult:
+    """Run a registered method on ``nranks`` virtual ranks.
+
+    ``method`` is a :class:`~repro.core.methods.MethodSpec`, a canonical
+    name or a CLI name.  ``coords`` (for coordinate-based methods) may
+    be a raw ``(n, 2)`` array or an
+    :class:`~repro.core.stages.EmbeddingArtifact` captured from another
+    run.  ``max_imbalance`` overrides the refinement target handed to
+    the rank program (``spec.default_max_imbalance`` otherwise); the
+    packaged result is validated against the spec's declared
+    ``balance_bound``.  ``copy_mode`` is the engine's payload-delivery
+    mode (see :func:`~repro.parallel.engine.run_spmd`); results are
+    identical under both settings, ``"readonly"`` is the zero-copy fast
+    path.
+    """
+    spec = method if isinstance(method, MethodSpec) else get_method(method)
+    if spec.distributed is None:
+        raise ConfigError(
+            f"method {spec.name!r} has no distributed implementation"
+        )
+    if graph.num_vertices < 2:
+        raise PartitionError("cannot bisect fewer than 2 vertices")
+    if spec.needs_coords:
+        coords = as_coords(coords)
+    target = (max_imbalance if max_imbalance is not None
+              else spec.default_max_imbalance)
+
+    def prog(comm):
+        return (yield from spec.distributed(
+            comm, graph, coords=coords, config=config, seed=seed,
+            max_imbalance=target,
+        ))
+
+    engine_seed = 0 if spec.seed_salt is None else derive_seed(seed,
+                                                               spec.seed_salt)
+    res = run_spmd(prog, nranks, machine=machine, seed=engine_seed,
+                   copy_mode=copy_mode)
+    return _package(graph, res, spec.name, max_imbalance=spec.balance_bound)
+
+
+# ----------------------------------------------------------------------
+# historical wrappers (thin aliases over run_parallel)
+# ----------------------------------------------------------------------
+
 def scalapart_parallel(
     graph: CSRGraph,
     nranks: int,
@@ -113,23 +161,14 @@ def scalapart_parallel(
     machine: MachineModel = QDR_CLUSTER,
     copy_mode: str = "readonly",
 ) -> PartitionResult:
-    """Run distributed ScalaPart on ``nranks`` virtual ranks.
-
-    ``copy_mode`` is the engine's payload-delivery mode (see
-    :func:`~repro.parallel.engine.run_spmd`); results are identical
-    under both settings, ``"readonly"`` is the zero-copy fast path.
-    """
-    if graph.num_vertices < 2:
-        raise PartitionError("cannot bisect fewer than 2 vertices")
-    res = run_spmd(dist_scalapart, nranks, graph, config, seed,
-                   machine=machine, seed=derive_seed(seed, 1),
-                   copy_mode=copy_mode)
-    return _package(graph, res, "ScalaPart")
+    """Run distributed ScalaPart on ``nranks`` virtual ranks."""
+    return run_parallel("ScalaPart", graph, nranks, config=config, seed=seed,
+                        machine=machine, copy_mode=copy_mode)
 
 
 def sp_pg7_nl_parallel(
     graph: CSRGraph,
-    coords: np.ndarray,
+    coords,
     nranks: int,
     config: Optional[ScalaPartConfig] = None,
     seed: SeedLike = None,
@@ -138,15 +177,9 @@ def sp_pg7_nl_parallel(
 ) -> PartitionResult:
     """Run the partition-only component (SP-PG7-NL) on given coordinates
     — the paper's Figure 4 comparison against RCB."""
-
-    def prog(comm):
-        comm.set_phase("partition")
-        return (yield from dist_sp_pg7_nl(comm, graph, coords,
-                                          config=config, seed=seed))
-
-    res = run_spmd(prog, nranks, machine=machine, seed=derive_seed(seed, 2),
-                   copy_mode=copy_mode)
-    return _package(graph, res, "SP-PG7-NL")
+    return run_parallel("SP-PG7-NL", graph, nranks, coords=coords,
+                        config=config, seed=seed, machine=machine,
+                        copy_mode=copy_mode)
 
 
 def parmetis_parallel(
@@ -158,14 +191,9 @@ def parmetis_parallel(
     copy_mode: str = "readonly",
 ) -> PartitionResult:
     """Run the distributed ParMetis analogue."""
-
-    def prog(comm):
-        return (yield from dist_parmetis_like(comm, graph, seed=seed,
-                                              max_imbalance=max_imbalance))
-
-    res = run_spmd(prog, nranks, machine=machine, seed=derive_seed(seed, 3),
-                   copy_mode=copy_mode)
-    return _package(graph, res, "ParMetis-like")
+    return run_parallel("ParMetis-like", graph, nranks, seed=seed,
+                        machine=machine, max_imbalance=max_imbalance,
+                        copy_mode=copy_mode)
 
 
 def scotch_parallel(
@@ -177,29 +205,18 @@ def scotch_parallel(
     copy_mode: str = "readonly",
 ) -> PartitionResult:
     """Run the distributed Pt-Scotch analogue."""
-
-    def prog(comm):
-        return (yield from dist_scotch_like(comm, graph, seed=seed,
-                                            max_imbalance=max_imbalance))
-
-    res = run_spmd(prog, nranks, machine=machine, seed=derive_seed(seed, 4),
-                   copy_mode=copy_mode)
-    return _package(graph, res, "Pt-Scotch-like")
+    return run_parallel("Pt-Scotch-like", graph, nranks, seed=seed,
+                        machine=machine, max_imbalance=max_imbalance,
+                        copy_mode=copy_mode)
 
 
 def rcb_parallel(
     graph: CSRGraph,
-    coords: np.ndarray,
+    coords,
     nranks: int,
     machine: MachineModel = QDR_CLUSTER,
     copy_mode: str = "readonly",
 ) -> PartitionResult:
     """Run distributed RCB on given coordinates."""
-
-    def prog(comm):
-        comm.set_phase("partition")
-        return (yield from dist_rcb_bisect(comm, graph, coords))
-
-    res = run_spmd(prog, nranks, machine=machine, seed=0,
-                   copy_mode=copy_mode)
-    return _package(graph, res, "RCB")
+    return run_parallel("RCB", graph, nranks, coords=coords,
+                        machine=machine, copy_mode=copy_mode)

@@ -18,7 +18,7 @@ methods (coordinates are sliced along with the subgraphs).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
@@ -82,7 +82,7 @@ class KWayResult:
 def recursive_bisection(
     graph: CSRGraph,
     k: int,
-    bisector: Callable,
+    bisector: Union[Callable, str],
     *,
     coords: Optional[np.ndarray] = None,
     seed: SeedLike = None,
@@ -93,11 +93,28 @@ def recursive_bisection(
 
     ``bisector(graph, [coords,] seed=..., **kwargs)`` must return an
     object exposing ``.bisection`` (every partitioner in this library
-    does).  The part budget splits ⌈k/2⌉ : ⌊k/2⌋, and the bisector's
-    balance point follows the budget so odd ``k`` stays balanced.
+    does) — or a *registered method name* ("scalapart", "RCB", ...),
+    resolved through :data:`repro.core.methods.METHOD_REGISTRY`.  The
+    part budget splits ⌈k/2⌉ : ⌊k/2⌋, and the bisector's balance point
+    follows the budget so odd ``k`` stays balanced.
     """
     if k < 1:
         raise PartitionError(f"k must be >= 1, got {k}")
+    if isinstance(bisector, str):
+        # local import: methods.py imports the drivers this module feeds
+        from .methods import get_method
+
+        spec = get_method(bisector)
+        if spec.sequential is None:
+            raise PartitionError(
+                f"method {spec.name!r} has no sequential bisector"
+            )
+        if spec.needs_coords and coords is None:
+            raise PartitionError(
+                f"method {spec.name!r} needs coordinates for recursive "
+                "bisection"
+            )
+        bisector = spec.sequential
     parts = np.zeros(graph.num_vertices, dtype=np.int64)
     counter = {"bisections": 0}
     _recurse(graph, np.arange(graph.num_vertices), coords, k, 0, parts,

@@ -1,7 +1,8 @@
 """ScalaPart — sequential reference implementation.
 
-The full pipeline of paper §3 in its sequential form (the distributed
-form in :mod:`repro.core.parallel` mirrors it stage for stage on the
+The full pipeline of paper §3 in its sequential form, composed from
+the shared :mod:`repro.core.stages` objects (the distributed form in
+:mod:`repro.core.parallel` composes the *same* stage instances on the
 virtual machine):
 
 1. **Coarsening** — heavy-edge matching, every other graph retained
@@ -16,24 +17,23 @@ virtual machine):
 
 :func:`sp_pg7_nl` exposes stages 3–4 alone: the paper's "SP-PG7-NL",
 used when coordinates already exist (Figure 4's comparison with RCB).
+Both drivers put the per-stage :class:`~repro.core.stages.StageArtifact`
+objects in ``extras["artifacts"]``, so an embedding computed once can
+be re-fed to any coordinate-based method.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
-from ..coarsen.matching import get_matcher
-from ..embed.multilevel import multilevel_embedding
 from ..errors import PartitionError
-from ..geometric.gmt import geometric_partition
 from ..graph.csr import CSRGraph
-from ..refine.strip import strip_refine
-from ..rng import SeedLike, derive_seed
+from ..rng import SeedLike
 from .config import ScalaPartConfig
 from ..results import PartitionResult
+from .stages import EMBED_STAGE, GEOMETRIC_STAGE, STRIP_REFINE_STAGE
 
 __all__ = ["scalapart", "sp_pg7_nl"]
 
@@ -48,39 +48,22 @@ def sp_pg7_nl(
 
     Great-circle separators only (no lines, no eigenvectors — the
     choices §3 makes "in the interests of parallel scalability"),
-    followed by strip-restricted FM.
+    followed by strip-restricted FM.  ``coords`` may be a raw ``(n, 2)``
+    array or an :class:`~repro.core.stages.EmbeddingArtifact`.
     """
     cfg = config or ScalaPartConfig()
-    t0 = time.perf_counter()
-    gmt = geometric_partition(
-        graph,
-        coords,
-        ncircles=cfg.ncircles,
-        nlines=0,
-        ncenterpoints=1,
-        seed=derive_seed(seed, 0x5B),
-        sample_size=cfg.centerpoint_sample,
-    )
-    t_geom = time.perf_counter() - t0
-    t1 = time.perf_counter()
-    refined = strip_refine(
-        gmt.bisection,
-        gmt.sdist,
-        factor=cfg.strip_factor,
-        max_imbalance=cfg.max_imbalance,
-        max_passes=cfg.strip_passes,
-    )
-    t_refine = time.perf_counter() - t1
+    geo = GEOMETRIC_STAGE.run(graph, coords, cfg, seed)
+    ref = STRIP_REFINE_STAGE.run(graph, geo, cfg, seed)
     return PartitionResult(
-        bisection=refined.bisection,
+        bisection=ref.bisection,
         method="SP-PG7-NL",
-        seconds=time.perf_counter() - t0,
-        stage_seconds={"partition": t_geom, "refine": t_refine},
+        seconds=geo.seconds + ref.seconds,
+        stage_seconds={"partition": geo.seconds, "refine": ref.seconds},
         extras={
-            "geometric_cut": gmt.cut,
-            "strip_size": refined.strip_size,
-            "strip_factor": refined.strip_factor,
-            "sdist": gmt.sdist,
+            **geo.info,
+            **ref.info,
+            "sdist": geo.sdist,
+            "artifacts": {"partition": geo, "refine": ref},
         },
     )
 
@@ -94,31 +77,20 @@ def scalapart(
     if graph.num_vertices < 2:
         raise PartitionError("cannot bisect fewer than 2 vertices")
     cfg = config or ScalaPartConfig()
-    t0 = time.perf_counter()
-    emb = multilevel_embedding(
-        graph,
-        seed=derive_seed(seed, 0xE3BED0),
-        c=cfg.c,
-        coarsest_size=cfg.coarsest_size,
-        coarsest_iters=cfg.coarsest_iters,
-        smooth_iters=cfg.smooth_iters,
-        jitter=cfg.jitter,
-        repulsion="lattice",
-        matcher=get_matcher(cfg.matching),
-    )
-    t_embed = time.perf_counter() - t0
-    part = sp_pg7_nl(graph, emb.pos, cfg, seed=seed)
+    emb = EMBED_STAGE.run(graph, None, cfg, seed)
+    part = sp_pg7_nl(graph, emb, cfg, seed=seed)
     return PartitionResult(
         bisection=part.bisection,
         method="ScalaPart",
-        seconds=t_embed + part.seconds,
+        seconds=emb.seconds + part.seconds,
         stage_seconds={
-            "embed": t_embed,
+            "embed": emb.seconds,
             **part.stage_seconds,
         },
         extras={
             **part.extras,
-            "pos": emb.pos,
-            "levels": emb.num_levels,
+            "pos": emb.coords,
+            "levels": emb.info["levels"],
+            "artifacts": {"embed": emb, **part.extras["artifacts"]},
         },
     )

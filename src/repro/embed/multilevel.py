@@ -94,8 +94,10 @@ def multilevel_embedding(
     if repulsion not in ("lattice", "bh"):
         raise EmbeddingError(f"unknown repulsion {repulsion!r}")
     if graph.num_vertices == 0:
+        empty = np.zeros((0, 2))
         return EmbeddingResult(
-            np.zeros((0, 2)), Hierarchy([graph], []), [], LayoutResult(np.zeros((0, 2)), 0, True, 0.0, 0.0)
+            empty, Hierarchy([graph], []), [],
+            LayoutResult(empty, 0, True, 0.0, 0.0),
         )
     rng = as_generator(derive_seed(seed, 0xE3BED))
     h = hierarchy if hierarchy is not None else build_hierarchy(

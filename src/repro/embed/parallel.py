@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -43,7 +43,7 @@ from ..baselines.rcb import rcb_grid_map
 from ..coarsen.parallel import dist_build_hierarchy
 from ..errors import EmbeddingError
 from ..graph.csr import CSRGraph
-from ..graph.distributed import Shared, adjacency_slots
+from ..graph.distributed import adjacency_slots
 from ..parallel.engine import Comm
 from ..parallel.patterns import share_from_root
 from ..parallel.topology import ProcessGrid, grid_dims

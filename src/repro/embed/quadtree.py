@@ -30,7 +30,6 @@ from typing import Optional
 import numpy as np
 
 from ..errors import EmbeddingError
-from .box import Box
 from .forces import DEFAULT_C, _EPS2, repulsive_forces_exact
 
 __all__ = ["repulsive_forces_bh"]

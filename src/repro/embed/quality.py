@@ -19,7 +19,6 @@ These metrics make that relationship measurable:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

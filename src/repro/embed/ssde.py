@@ -18,7 +18,6 @@ conjecture on our suite.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

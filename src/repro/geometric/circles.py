@@ -22,7 +22,6 @@ import numpy as np
 
 from ..errors import GeometryError
 from ..graph.csr import CSRGraph
-from ..rng import SeedLike, as_generator
 
 __all__ = [
     "Candidate",

@@ -25,7 +25,7 @@ variant      circles   lines   centerpoints
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -26,12 +26,12 @@ multiple of the number of vertices in the edge separator".
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from ..core.config import ScalaPartConfig
-from ..errors import GeometryError
 from ..graph.csr import CSRGraph
 from ..graph.distributed import adjacency_slots, block_of, block_starts
 from ..graph.partition import Bisection
@@ -41,14 +41,32 @@ from ..refine.strip import strip_refine
 from ..rng import SeedLike, derive_seed
 from .centerpoint import approx_centerpoint
 from .circles import random_unit_vectors
-from .stereo import conformal_to_center, lift, project, rotation_to_south
+from .stereo import lift, project, rotation_to_south
 
-__all__ = ["dist_sp_pg7_nl"]
+__all__ = ["DistGeoSelection", "dist_geometric", "dist_strip_refine",
+           "dist_sp_pg7_nl"]
 
 _HIST_BINS = 128
 
 
-def dist_sp_pg7_nl(
+@dataclass(frozen=True)
+class DistGeoSelection:
+    """Per-rank outcome of the distributed circle selection.
+
+    The winning separator is fully described by each rank's signed
+    distances over its owned block (``sd_own``) plus the globally
+    agreed cut weight — exactly what the strip-refinement stage needs.
+    """
+
+    #: signed distance of the owned block to the winning circle
+    sd_own: np.ndarray
+    #: globally reduced cut weight of the winning candidate
+    best_cut: float
+    #: number of candidate separators evaluated
+    candidates: int
+
+
+def dist_geometric(
     comm: Comm,
     graph: CSRGraph,
     pos_full: np.ndarray,
@@ -56,11 +74,11 @@ def dist_sp_pg7_nl(
     config: Optional[ScalaPartConfig] = None,
     seed: SeedLike = None,
 ):
-    """Rank program: parallel SP-PG7-NL on an embedded graph.
+    """Rank program: distributed great-circle selection (stage 3 alone).
 
     ``pos_full`` is the level-0 embedding (shared read-only reference;
-    per-rank *work* touches only the owned block).  Returns the final
-    side labels as a shared full array plus diagnostics.
+    per-rank *work* touches only the owned block).  Returns a
+    :class:`DistGeoSelection` for :func:`dist_strip_refine`.
     """
     cfg = config or ScalaPartConfig()
     n = graph.num_vertices
@@ -153,11 +171,30 @@ def dist_sp_pg7_nl(
     feasible = imb <= max(cfg.max_imbalance, float(imb.min()) + 1e-12)
     order = np.where(feasible, cuts_g, np.inf)
     best = int(np.argmin(order))
+    return DistGeoSelection(
+        sd_own=sval_own[:, best] - thresholds[best],
+        best_cut=float(cuts_g[best]),
+        candidates=cfg.ncircles,
+    )
 
-    # ---- assemble the winning side + strip refinement at the root ----
+
+def dist_strip_refine(
+    comm: Comm,
+    graph: CSRGraph,
+    selection: DistGeoSelection,
+    *,
+    config: Optional[ScalaPartConfig] = None,
+):
+    """Rank program: strip refinement of a selected separator (stage 4).
+
+    Assembles the winning side from the per-rank signed distances, then
+    gathers the (small) strip to the subtree root, runs FM there and
+    broadcasts the result.  Returns ``(side, info)``.
+    """
+    cfg = config or ScalaPartConfig()
+    p = comm.size
     comm.set_phase("partition/strip")
-    sd_own = sval_own[:, best] - thresholds[best]
-    sd_full = yield from allgather_concat(comm, sd_own)
+    sd_full = yield from allgather_concat(comm, selection.sd_own)
     side = (sd_full > 0).astype(np.int8)
     result = None
     if comm.rank == 0:
@@ -171,17 +208,38 @@ def dist_sp_pg7_nl(
         result = (
             refined.bisection.side,
             {
-                "geometric_cut": float(cuts_g[best]),
+                "geometric_cut": selection.best_cut,
                 "strip_size": refined.strip_size,
                 "strip_factor": refined.strip_factor,
-                "candidates": cfg.ncircles,
+                "candidates": selection.candidates,
             },
         )
     # strip work is proportional to the strip, not the graph
-    sep_guess = max(1.0, cuts_g[best])
+    sep_guess = max(1.0, selection.best_cut)
     comm.charge(cfg.strip_factor * sep_guess * 8 / p)
     side_final, info = (yield from share_from_root(
-        comm, result, words=cfg.strip_factor * sep_guess / max(1.0, math.log2(p) if p > 1 else 1.0)
+        comm, result,
+        words=cfg.strip_factor * sep_guess
+        / max(1.0, math.log2(p) if p > 1 else 1.0),
     ))
     comm.set_phase("partition")
     return side_final, info
+
+
+def dist_sp_pg7_nl(
+    comm: Comm,
+    graph: CSRGraph,
+    pos_full: np.ndarray,
+    *,
+    config: Optional[ScalaPartConfig] = None,
+    seed: SeedLike = None,
+):
+    """Rank program: parallel SP-PG7-NL on an embedded graph.
+
+    Chains :func:`dist_geometric` and :func:`dist_strip_refine` — the
+    same two stage programs the registry pipeline composes.
+    """
+    cfg = config or ScalaPartConfig()
+    selection = yield from dist_geometric(comm, graph, pos_full,
+                                          config=cfg, seed=seed)
+    return (yield from dist_strip_refine(comm, graph, selection, config=cfg))

@@ -81,7 +81,8 @@ class GeneratedGraph:
 
 def path_graph(n: int) -> GeneratedGraph:
     """Path ``0-1-...-(n-1)`` with coordinates on a line."""
-    e = np.column_stack([np.arange(n - 1), np.arange(1, n)]) if n > 1 else np.zeros((0, 2), dtype=np.int64)
+    e = (np.column_stack([np.arange(n - 1), np.arange(1, n)])
+         if n > 1 else np.zeros((0, 2), dtype=np.int64))
     coords = np.column_stack([np.arange(n, dtype=np.float64), np.zeros(n)])
     return GeneratedGraph(CSRGraph.from_edges(n, e), coords, f"path{n}")
 
@@ -358,7 +359,6 @@ def preferential_attachment(n: int, m: int = 3, seed: SeedLike = None) -> Genera
     if n <= m:
         raise GraphError("need n > m")
     rng = as_generator(seed)
-    targets = list(range(m))
     repeated: list = list(range(m))
     edges = []
     for v in range(m, n):

@@ -19,7 +19,6 @@ Format recap (see the METIS 5 manual):
 
 from __future__ import annotations
 
-import io
 from pathlib import Path
 from typing import Optional, TextIO, Union
 

@@ -55,7 +55,7 @@ from __future__ import annotations
 
 import inspect
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -133,8 +133,10 @@ _COPY_MODES = ("readonly", "defensive")
 _REDUCERS: Dict[str, Callable[[Any, Any], Any]] = {
     "sum": lambda a, b: a + b,
     "prod": lambda a, b: a * b,
-    "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else min(a, b),
-    "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else max(a, b),
+    "min": lambda a, b: (np.minimum(a, b) if isinstance(a, np.ndarray)
+                         or isinstance(b, np.ndarray) else min(a, b)),
+    "max": lambda a, b: (np.maximum(a, b) if isinstance(a, np.ndarray)
+                         or isinstance(b, np.ndarray) else max(a, b)),
 }
 
 #: one-shot ufunc per named op for the stacked-array fast path

@@ -27,8 +27,7 @@ magnitude as the paper's cluster, but EXPERIMENTS.md compares *shape*
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
-from typing import Dict
+from dataclasses import dataclass, replace
 
 from ..errors import ConfigError
 

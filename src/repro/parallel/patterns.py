@@ -12,7 +12,7 @@ textbook algorithm would incur (see each function's accounting note).
 from __future__ import annotations
 
 import math
-from typing import Any, List, Optional, Sequence
+from typing import Any, Optional
 
 import numpy as np
 

@@ -16,7 +16,6 @@ count from cut edges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

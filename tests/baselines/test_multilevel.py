@@ -3,13 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.baselines import (
-    band_mask,
-    greedy_graph_growing,
-    multilevel_bisection,
-    parmetis_like,
-    scotch_like,
-)
+from repro.baselines import band_mask, greedy_graph_growing, parmetis_like, scotch_like
 from repro.graph import Bisection
 from repro.graph.generators import grid2d, random_delaunay
 

@@ -53,3 +53,20 @@ class TestRunMethod:
         runner.clear_cache()
         assert not list(tmp_path.glob("*.json"))
         assert not runner._MEMO
+
+
+class TestRegistryView:
+    def test_methods_mirrors_registry(self):
+        from repro.bench.runner import METHODS
+        from repro.core.methods import METHOD_REGISTRY
+
+        assert set(METHODS) == set(METHOD_REGISTRY)
+        for name, needs_coords in METHODS.items():
+            assert needs_coords == METHOD_REGISTRY[name].needs_coords
+
+    def test_cache_key_versioned(self):
+        # the key must change when the cache format version bumps, so a
+        # stale on-disk cache can never satisfy a new-format read
+        k = runner._cache_key("RCB", "ecology1", 4)
+        assert len(k) == 20
+        assert k != runner._cache_key("RCB", "ecology1", 8)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.coarsen import Hierarchy, build_hierarchy, random_matching
 from repro.errors import GraphError
-from repro.graph import CSRGraph, cut_weight
+from repro.graph import cut_weight
 from repro.graph.generators import complete_graph, grid2d, random_delaunay
 
 

@@ -97,7 +97,6 @@ class TestVectorisedHEM:
                    random_delaunay(350, seed=2).graph,
                    preferential_attachment(300, m=3, seed=4).graph):
             m = heavy_edge_matching_vec(gg, seed=5)
-            ids = np.arange(gg.num_vertices)
             src = gg.edge_sources()
             both_free = (m[src] == src) & (m[gg.indices] == gg.indices)
             assert not both_free.any()

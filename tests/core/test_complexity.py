@@ -1,10 +1,8 @@
 """Tests for the §3.1 analytic model and its agreement with the VM."""
 
-import numpy as np
 import pytest
 
 from repro.core.complexity import ComplexityModel
-from repro.parallel import MachineModel
 
 
 class TestClosedForms:

@@ -11,7 +11,7 @@ from repro.core.parallel import (
     scotch_parallel,
     sp_pg7_nl_parallel,
 )
-from repro.graph.generators import grid2d, random_delaunay
+from repro.graph.generators import random_delaunay
 
 
 FAST = ScalaPartConfig(coarsest_iters=80, smooth_iters=6)

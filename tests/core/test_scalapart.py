@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import PartitionResult, ScalaPartConfig, scalapart, sp_pg7_nl
+from repro.core import ScalaPartConfig, scalapart, sp_pg7_nl
 from repro.errors import ConfigError, PartitionError
 from repro.graph import CSRGraph
 from repro.graph.generators import grid2d, random_delaunay

@@ -15,7 +15,7 @@ from repro.embed import (
 )
 from repro.errors import EmbeddingError
 from repro.graph import CSRGraph
-from repro.graph.generators import grid2d, path_graph
+from repro.graph.generators import path_graph
 
 
 class TestAttractive:

@@ -14,7 +14,7 @@ from repro.embed import (
 )
 from repro.errors import EmbeddingError
 from repro.graph import CSRGraph
-from repro.graph.generators import cycle_graph, grid2d, path_graph, random_delaunay
+from repro.graph.generators import grid2d, path_graph, random_delaunay
 
 
 class TestBFS:

@@ -6,7 +6,7 @@ import pytest
 from repro.core.config import ScalaPartConfig
 from repro.geometric.parallel import dist_sp_pg7_nl
 from repro.graph import Bisection, cut_size
-from repro.graph.generators import grid2d, random_delaunay
+from repro.graph.generators import random_delaunay
 from repro.parallel import QDR_CLUSTER, ZERO_COST, run_spmd
 
 

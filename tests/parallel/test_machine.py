@@ -1,6 +1,5 @@
 """Unit tests for the Hockney cost model and simulated clocks."""
 
-import math
 
 import numpy as np
 import pytest
@@ -92,7 +91,7 @@ class TestClockSemantics:
                 comm.charge(10)
                 yield from comm.send(np.zeros(4), dest=1)  # arrival 10+3+4=17
                 return comm.clock
-            got = yield from comm.recv(source=0)
+            yield from comm.recv(source=0)
             return comm.clock
 
         res = run_spmd(prog, 2, machine=m)
@@ -108,7 +107,7 @@ class TestClockSemantics:
                 yield from comm.send("x", dest=1)
                 return comm.clock
             comm.charge(100)  # receiver is late; message already arrived
-            got = yield from comm.recv(source=0)
+            yield from comm.recv(source=0)
             return comm.clock
 
         res = run_spmd(prog, 2, machine=m)

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.graph import CSRGraph
 from repro.graph.distributed import (
     Shared,
     adjacency_slots,

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.errors import PartitionError
 from repro.graph import Bisection, CSRGraph
-from repro.graph.generators import grid2d, random_delaunay
+from repro.graph.generators import grid2d
 from repro.refine import fm_refine
 
 

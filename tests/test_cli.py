@@ -71,6 +71,48 @@ class TestPartition:
         lines = capsys.readouterr().out.strip().splitlines()
         assert len(lines) == 144
 
+    def test_parts_alias(self, graph_file, tmp_path, capsys):
+        """``--parts`` is the METIS-style spelling of ``--k``."""
+        path, g = graph_file
+        out = tmp_path / "g.part3"
+        rc = main(["partition", path, "--method", "parmetis", "--parts", "3",
+                   "--out", str(out), "--seed", "2"])
+        assert rc == 0
+        parts = np.array([int(x) for x in out.read_text().split()])
+        assert len(np.unique(parts)) == 3
+        err = capsys.readouterr().err
+        assert "kway_cut=" in err
+        assert "kway_imbalance=" in err
+
+    def test_bisection_reports_cut(self, graph_file, capsys):
+        path, g = graph_file
+        assert main(["partition", path, "--method", "parmetis",
+                     "--seed", "1"]) == 0
+        err = capsys.readouterr().err
+        assert "cut=" in err
+        assert "imbalance=" in err
+
+    def test_registry_methods_available(self, graph_file, tmp_path):
+        """Methods registered in the central registry are CLI choices
+        without any CLI change (here: the geometric baseline g30)."""
+        path, g = graph_file
+        out = tmp_path / "g.g30"
+        rc = main(["partition", path, "--method", "g30",
+                   "--out", str(out), "--seed", "0"])
+        assert rc == 0
+        parts = [int(x) for x in out.read_text().split()]
+        assert set(parts) == {0, 1}
+
+    def test_kway_scalapart(self, graph_file, tmp_path):
+        """k-way works for the flagship method too (needs no coords)."""
+        path, g = graph_file
+        out = tmp_path / "g.sp4"
+        rc = main(["partition", path, "--method", "scalapart", "--parts", "4",
+                   "--out", str(out), "--seed", "3"])
+        assert rc == 0
+        parts = np.array([int(x) for x in out.read_text().split()])
+        assert len(np.unique(parts)) == 4
+
 
 class TestEmbed:
     def test_writes_coordinates(self, graph_file, tmp_path):

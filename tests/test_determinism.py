@@ -10,7 +10,6 @@ here at full-pipeline granularity.
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.core.config import ScalaPartConfig

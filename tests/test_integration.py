@@ -6,12 +6,11 @@ must hold regardless of tuning (valid balanced bisections, determinism,
 METIS round-trips of partitioned graphs).
 """
 
-import io
 
 import numpy as np
 import pytest
 
-from repro.baselines import parmetis_like, rcb_bisect, scotch_like
+from repro.baselines import parmetis_like, scotch_like
 from repro.core import ScalaPartConfig, scalapart, scalapart_parallel
 from repro.embed import hu_layout
 from repro.geometric import g7_nl
