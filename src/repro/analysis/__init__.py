@@ -1,0 +1,35 @@
+"""SPMD correctness analyzer: static lint + dynamic sanitizer.
+
+Two halves, one contract (see DESIGN §8):
+
+* :mod:`repro.analysis.lint` — the ``repro lint`` static AST pass over
+  rank programs and library code (rules SP101–SP105);
+* :mod:`repro.analysis.sanitizer` — the runtime sanitizer behind
+  ``run_spmd(..., sanitize=True)``: payload checksums, the collective
+  ledger, undriven-generator and undelivered-message reporting.
+"""
+
+from .lint import (  # noqa: F401
+    Finding,
+    Rule,
+    RULES,
+    findings_to_json,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from .sanitizer import Sanitizer, payload_checksum  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "findings_to_json",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "Sanitizer",
+    "payload_checksum",
+]

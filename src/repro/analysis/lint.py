@@ -1,0 +1,712 @@
+"""Static AST lint for SPMD rank programs (``repro lint``).
+
+The paper's algorithms live or die on disciplined SPMD communication:
+every rank must post the same collectives in the same order, senders
+must not mutate buffers they have already posted (the zero-copy
+``copy_mode="readonly"`` delivery contract), and all randomness must
+flow through seeded per-rank streams so runs are reproducible.  The
+checks below are the *static* half of the correctness analyzer — the
+dynamic half is the engine's sanitizer mode
+(:mod:`repro.analysis.sanitizer`).  They encode the bug classes MPI
+verification tools such as MUST and ThreadSanitizer catch at runtime,
+tuned to this codebase's rank-program idiom (generator rank programs
+driven by :func:`repro.parallel.engine.run_spmd`).
+
+Rules
+-----
+======  ================================================================
+SP101   a ``Comm`` communication method (``send``/``recv``/
+        ``allreduce``/...) or a :mod:`repro.parallel.patterns` helper
+        called without ``yield from`` — the call builds a generator that
+        is never driven, so the operation silently does not happen
+SP102   a collective posted inside a ``comm.rank``-dependent branch —
+        ranks disagree on the collective schedule (deadlock or
+        mismatched-collective hazard)
+SP103   global RNG state (``np.random.*`` module-level functions,
+        stdlib ``random.*``) instead of seeded :mod:`repro.rng` streams
+        — breaks run-to-run determinism and rank independence
+SP104   a local variable mutated after being passed to ``comm.send`` /
+        ``comm.sendrecv`` — under ``copy_mode="readonly"`` the receiver
+        aliases the sender's memory until delivery
+SP105   iteration over a ``set`` inside a communicating rank program —
+        set order is hash-dependent, so payload order can differ
+        between runs (sort first, e.g. ``for x in sorted(s)``)
+======  ================================================================
+
+Dict iteration is *not* flagged: Python dicts preserve insertion order,
+and the engine builds inboxes (e.g. ``comm.exchange`` results) in
+deterministic rank order.
+
+Suppression
+-----------
+Append ``# repro: lint-ok[SP104]`` (codes comma-separated, or a bare
+``# repro: lint-ok`` for all codes) to the offending line, or put the
+comment alone on the line directly above it.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "findings_to_json",
+]
+
+
+# ----------------------------------------------------------------------
+# rule table
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: stable code, one-line summary, fix hint."""
+
+    code: str
+    summary: str
+    hint: str
+
+
+RULES: Dict[str, Rule] = {
+    r.code: r
+    for r in (
+        Rule(
+            "SP000",
+            "file could not be parsed",
+            "fix the syntax error; the file was not analysed",
+        ),
+        Rule(
+            "SP101",
+            "communication method called without 'yield from'",
+            "drive it: 'result = yield from comm.<op>(...)'",
+        ),
+        Rule(
+            "SP102",
+            "collective posted inside a rank-dependent branch",
+            "post the collective unconditionally on every rank of the "
+            "communicator; compute rank-dependent payloads, not "
+            "rank-dependent schedules",
+        ),
+        Rule(
+            "SP103",
+            "global RNG state used instead of a seeded stream",
+            "use comm.rng inside rank programs, or repro.rng "
+            "(default_rng/derive_seed) elsewhere",
+        ),
+        Rule(
+            "SP104",
+            "buffer mutated after being posted to a send",
+            "send a copy (obj.copy() or copy=True), or delay the "
+            "mutation until after the matching receive",
+        ),
+        Rule(
+            "SP105",
+            "iteration over a set feeds communication",
+            "iterate 'sorted(the_set)' so payload order is deterministic",
+        ),
+    )
+}
+
+#: every Comm method that must be driven with ``yield from``
+COMM_METHODS = frozenset({
+    "send", "isend", "recv", "sendrecv", "barrier", "bcast", "reduce",
+    "allreduce", "gather", "allgather", "scatter", "alltoall", "scan",
+    "exchange", "split",
+})
+
+#: Comm methods that are collectives (every rank must participate)
+COLLECTIVE_METHODS = frozenset({
+    "barrier", "bcast", "reduce", "allreduce", "gather", "allgather",
+    "scatter", "alltoall", "scan", "exchange", "split",
+})
+
+#: generator helpers from repro.parallel.patterns (collective inside)
+PATTERN_HELPERS = frozenset({
+    "allgather_concat", "share_from_root", "gather_to_root",
+})
+
+#: point-to-point sends whose payload the sender must not mutate
+SEND_METHODS = frozenset({"send", "isend", "sendrecv"})
+
+#: receiver names treated as communicator handles
+_COMM_NAMES = frozenset({"comm", "active", "sub", "world"})
+
+#: np.random attributes that are *not* global-state (seeded constructors)
+_NP_RANDOM_OK = frozenset({
+    "default_rng", "Generator", "RandomState", "SeedSequence",
+    "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+#: stdlib random attributes that are seeded instances, not global state
+_STDLIB_RANDOM_OK = frozenset({"Random", "SystemRandom"})
+
+#: container methods that mutate their receiver in place
+_MUTATOR_METHODS = frozenset({
+    "fill", "sort", "put", "resize", "itemset", "partition", "setflags",
+    "setfield", "byteswap", "append", "extend", "insert", "pop", "clear",
+    "update", "remove", "reverse", "setdefault", "add", "discard",
+})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*lint-ok(?:\[([A-Za-z0-9_,\s]+)\])?"
+)
+
+
+# ----------------------------------------------------------------------
+# findings
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pointing at file:line with a fix hint."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def hint(self) -> str:
+        return RULES[self.code].hint
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: {self.code} "
+                f"{self.message} (fix: {self.hint})")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def findings_to_json(findings: Sequence[Finding]) -> str:
+    """Serialise findings for ``repro lint --format json`` / CI."""
+    return json.dumps([f.to_dict() for f in findings], indent=2)
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = _FUNC_NODES + (ast.Lambda, ast.ClassDef)
+
+
+def _attach_parents(tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._lint_parent = node  # type: ignore[attr-defined]
+
+
+def _parent(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, "_lint_parent", None)
+
+
+def _own_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested scopes
+    (functions, lambdas, classes)."""
+    yield node
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, _SCOPE_NODES):
+            continue
+        yield cur
+        stack.extend(ast.iter_child_nodes(cur))
+
+
+def _receiver_name(func: ast.Attribute) -> Optional[str]:
+    """Name of the object a method is called on (``x.op()`` -> ``x``,
+    ``a.b.op()`` -> ``b``)."""
+    base = func.value
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None
+
+
+def _is_comm_receiver(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    low = name.lower()
+    return low in _COMM_NAMES or "comm" in low
+
+
+def _comm_call_op(call: ast.Call) -> Optional[str]:
+    """If ``call`` is a Comm communication method or pattern helper,
+    return the op name, else None."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        if func.attr in COMM_METHODS and _is_comm_receiver(_receiver_name(func)):
+            return func.attr
+        if func.attr in PATTERN_HELPERS:
+            return func.attr
+    elif isinstance(func, ast.Name) and func.id in PATTERN_HELPERS:
+        return func.id
+    return None
+
+
+def _is_collective_op(op: str) -> bool:
+    return op in COLLECTIVE_METHODS or op in PATTERN_HELPERS
+
+
+def _reads_rank(expr: ast.AST, tainted: Set[str]) -> bool:
+    """Does ``expr`` read ``comm.rank``/``comm.world_rank`` or a
+    variable derived from one?"""
+    for node in ast.walk(expr):
+        if (isinstance(node, ast.Attribute)
+                and node.attr in ("rank", "world_rank")
+                and _is_comm_receiver(_receiver_name(node))):
+            return True
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load) \
+                and node.id in tainted:
+            return True
+    return False
+
+
+def _is_split_result(value: ast.AST) -> bool:
+    """Is ``value`` ``yield from <comm>.split(...)`` (a sub-communicator)?"""
+    if isinstance(value, ast.YieldFrom):
+        value = value.value
+    return (isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "split"
+            and _is_comm_receiver(_receiver_name(value.func)))
+
+
+def _assigned_names(target: ast.AST) -> Iterator[str]:
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            yield node.id
+
+
+def _is_set_expr(expr: ast.AST, setish: Set[str]) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+            and expr.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(expr, ast.Name) and expr.id in setish:
+        return True
+    return False
+
+
+
+
+# ----------------------------------------------------------------------
+# per-file linter
+# ----------------------------------------------------------------------
+
+class _FileLint:
+    def __init__(self, tree: ast.Module, path: str, source: str) -> None:
+        self.tree = tree
+        self.path = path
+        self.lines = source.splitlines()
+        self.findings: List[Finding] = []
+        self.numpy_random: Set[str] = set()   # names bound to numpy.random
+        self.numpy_aliases: Set[str] = set()  # names bound to numpy itself
+        self.random_aliases: Set[str] = set()  # names bound to stdlib random
+        _attach_parents(tree)
+        self._suppressions = self._parse_suppressions()
+
+    # -- suppressions ---------------------------------------------------
+    def _parse_suppressions(self) -> Dict[int, Tuple[Optional[Set[str]], bool]]:
+        """Map line -> (codes or None for all, line_is_pure_comment)."""
+        out: Dict[int, Tuple[Optional[Set[str]], bool]] = {}
+        for i, line in enumerate(self.lines, start=1):
+            m = _SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            codes: Optional[Set[str]] = None
+            if m.group(1):
+                codes = {c.strip().upper() for c in m.group(1).split(",") if c.strip()}
+            standalone = line.strip().startswith("#")
+            out[i] = (codes, standalone)
+        return out
+
+    def _suppressed(self, line: int, code: str) -> bool:
+        entry = self._suppressions.get(line)
+        if entry is not None:
+            codes, _ = entry
+            if codes is None or code in codes:
+                return True
+        prev = self._suppressions.get(line - 1)
+        if prev is not None:
+            codes, standalone = prev
+            if standalone and (codes is None or code in codes):
+                return True
+        return False
+
+    def _add(self, node: ast.AST, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if self._suppressed(line, code):
+            return
+        f = Finding(self.path, line, getattr(node, "col_offset", 0) + 1,
+                    code, message)
+        if f not in self.findings:
+            self.findings.append(f)
+
+    # -- driver ---------------------------------------------------------
+    def run(self) -> List[Finding]:
+        self._collect_imports()
+        self._sp101(self.tree)
+        self._sp103(self.tree)
+        for node in ast.walk(self.tree):
+            if isinstance(node, _FUNC_NODES):
+                self._check_function(node)
+        self.findings.sort(key=lambda f: (f.line, f.col, f.code))
+        return self.findings
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name in ("numpy", "numpy.random"):
+                        self.numpy_aliases.add(bound)
+                    if alias.name == "numpy.random" and alias.asname:
+                        self.numpy_random.add(alias.asname)
+                    if alias.name == "random":
+                        self.random_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.numpy_random.add(alias.asname or "random")
+                elif node.module in ("numpy.random", "random"):
+                    stdlib = node.module == "random"
+                    allowed = _STDLIB_RANDOM_OK if stdlib else _NP_RANDOM_OK
+                    for alias in node.names:
+                        if alias.name not in allowed:
+                            self._add(
+                                node, "SP103",
+                                f"'from {node.module} import {alias.name}' "
+                                "pulls in shared RNG state",
+                            )
+
+    # -- SP101 ----------------------------------------------------------
+    def _sp101(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            op = _comm_call_op(node)
+            if op is None:
+                continue
+            if isinstance(_parent(node), ast.YieldFrom):
+                continue
+            self._add(
+                node, "SP101",
+                f"'{op}' called without 'yield from' — the communication "
+                "generator is created but never driven",
+            )
+
+    # -- SP103 ----------------------------------------------------------
+    def _sp103(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            # np.random.<fn>(...) / numpy.random.<fn>(...)
+            if (isinstance(base, ast.Attribute) and base.attr == "random"
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id in self.numpy_aliases
+                    and func.attr not in _NP_RANDOM_OK):
+                self._add(
+                    node, "SP103",
+                    f"'np.random.{func.attr}' uses the shared global "
+                    "NumPy RNG",
+                )
+            # nprand.<fn>(...) after 'from numpy import random as nprand'
+            elif (isinstance(base, ast.Name) and base.id in self.numpy_random
+                    and func.attr not in _NP_RANDOM_OK):
+                self._add(
+                    node, "SP103",
+                    f"'{base.id}.{func.attr}' uses the shared global "
+                    "NumPy RNG",
+                )
+            # random.<fn>(...) from the stdlib
+            elif (isinstance(base, ast.Name) and base.id in self.random_aliases
+                    and func.attr not in _STDLIB_RANDOM_OK):
+                self._add(
+                    node, "SP103",
+                    f"'random.{func.attr}' uses the shared global stdlib RNG",
+                )
+
+    # -- per-function rules ---------------------------------------------
+    def _check_function(self, fn: ast.AST) -> None:
+        own = list(_own_walk(fn))
+        is_generator = any(isinstance(n, (ast.Yield, ast.YieldFrom)) for n in own)
+        communicates = any(
+            isinstance(n, ast.Call) and _comm_call_op(n) is not None
+            for n in own
+        )
+        if is_generator:
+            self._sp102(fn, own)
+        if is_generator and communicates:
+            self._sp105(fn, own)
+        self._sp104(fn)
+
+    # -- SP102 ----------------------------------------------------------
+    def _sp102(self, fn: ast.AST, own: List[ast.AST]) -> None:
+        tainted: Set[str] = set()
+        subcomms: Set[str] = set()
+        for node in own:
+            value = None
+            if isinstance(node, ast.Assign):
+                value = node.value
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                value = node.value
+                targets = [node.target]
+            elif isinstance(node, ast.NamedExpr):
+                value = node.value
+                targets = [node.target]
+            else:
+                continue
+            if value is None:
+                continue
+            # names bound to a split() result are sub-communicators:
+            # posting a collective on one inside its own membership guard
+            # ('if sub is not None:') is the canonical correct idiom
+            if _is_split_result(value):
+                for t in targets:
+                    subcomms.update(_assigned_names(t))
+            if _reads_rank(value, tainted):
+                for t in targets:
+                    tainted.update(_assigned_names(t))
+        for node in own:
+            if not isinstance(node, ast.If):
+                continue
+            if not _reads_rank(node.test, tainted):
+                continue
+            for sub in _own_walk(node):
+                if sub is node.test or not isinstance(sub, ast.YieldFrom):
+                    continue
+                if not isinstance(sub.value, ast.Call):
+                    continue
+                op = _comm_call_op(sub.value)
+                if op is None or not _is_collective_op(op):
+                    continue
+                func = sub.value.func
+                if isinstance(func, ast.Attribute) \
+                        and _receiver_name(func) in subcomms:
+                    continue
+                self._add(
+                    sub, "SP102",
+                    f"collective '{op}' posted inside a rank-dependent "
+                    "branch — ranks will disagree on the collective "
+                    "schedule",
+                )
+
+    # -- SP104 ----------------------------------------------------------
+    def _sp104(self, fn: ast.AST) -> None:
+        sent: Dict[str, Tuple[int, str]] = {}   # name -> (send line, op)
+        self._sp104_scan(getattr(fn, "body", []), sent)
+
+    def _sp104_scan(self, body: Sequence[ast.stmt],
+                    sent: Dict[str, Tuple[int, str]]) -> None:
+        """Walk statements in execution order, tracking posted buffers.
+
+        ``If`` arms are alternatives, so each is scanned with its own
+        copy of the tracking state (a send in one arm cannot be mutated
+        by the other); loop bodies are scanned twice so a mutation
+        textually *before* a send still follows it on iteration two.
+        """
+        for stmt in body:
+            if isinstance(stmt, _SCOPE_NODES):
+                continue
+            if isinstance(stmt, ast.If):
+                self._sp104_exprs(stmt.test, sent)
+                then_sent, else_sent = dict(sent), dict(sent)
+                self._sp104_scan(stmt.body, then_sent)
+                self._sp104_scan(stmt.orelse, else_sent)
+                sent.clear()
+                sent.update(else_sent)
+                sent.update(then_sent)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                header = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) \
+                    else stmt.test
+                self._sp104_exprs(header, sent)
+                for _pass in range(2):
+                    self._sp104_scan(stmt.body, sent)
+                self._sp104_scan(stmt.orelse, sent)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self._sp104_exprs(item.context_expr, sent)
+                self._sp104_scan(stmt.body, sent)
+            elif isinstance(stmt, ast.Try):
+                self._sp104_scan(stmt.body, sent)
+                for handler in stmt.handlers:
+                    self._sp104_scan(handler.body, sent)
+                self._sp104_scan(stmt.orelse, sent)
+                self._sp104_scan(stmt.finalbody, sent)
+            else:
+                self._sp104_simple(stmt, sent)
+
+    def _sp104_simple(self, stmt: ast.stmt,
+                      sent: Dict[str, Tuple[int, str]]) -> None:
+        """One simple statement: flag mutations, apply rebinds, then
+        register any newly posted send payloads."""
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._sp104_target(target, stmt, sent)
+        elif isinstance(stmt, ast.AugAssign):
+            self._sp104_target(stmt.target, stmt, sent, aug=True)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Subscript) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id in sent:
+                    self._sp104_flag(stmt, target.value.id, sent)
+        self._sp104_exprs(stmt, sent)
+
+    def _sp104_exprs(self, root: ast.AST,
+                     sent: Dict[str, Tuple[int, str]]) -> None:
+        """Scan the expressions of one statement/header: mutating calls
+        on tracked buffers fire; send calls register their payload."""
+        for node in _own_walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            # x.fill(...), x.sort(...), ...
+            if func.attr in _MUTATOR_METHODS \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id in sent:
+                self._sp104_flag(node, func.value.id, sent)
+            # np.add.at(x, ...), np.copyto(x, ...), np.put(x, ...)
+            elif func.attr in ("at", "copyto", "put", "place", "putmask") \
+                    and node.args and isinstance(node.args[0], ast.Name) \
+                    and node.args[0].id in sent:
+                self._sp104_flag(node, node.args[0].id, sent)
+            elif func.attr in SEND_METHODS \
+                    and _is_comm_receiver(_receiver_name(func)):
+                payload = node.args[0] if node.args else None
+                if payload is None:
+                    for kw in node.keywords:
+                        if kw.arg == "obj":
+                            payload = kw.value
+                if isinstance(payload, ast.Name):
+                    sent[payload.id] = (node.lineno, func.attr)
+
+    def _sp104_flag(self, node: ast.AST, name: str,
+                    sent: Dict[str, Tuple[int, str]]) -> None:
+        line, op = sent[name]
+        self._add(
+            node, "SP104",
+            f"'{name}' mutated after being posted to '{op}' on line "
+            f"{line} — the receiver aliases this memory under "
+            "copy_mode='readonly'",
+        )
+
+    def _sp104_target(self, target, stmt, sent, aug: bool = False) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._sp104_target(elt, stmt, sent, aug)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            base = target.value
+            if isinstance(base, ast.Name) and base.id in sent:
+                self._sp104_flag(stmt, base.id, sent)
+        elif isinstance(target, ast.Name):
+            if aug:
+                # x += ... mutates ndarrays in place
+                if target.id in sent:
+                    self._sp104_flag(stmt, target.id, sent)
+            else:
+                # plain rebind: the name no longer aliases the sent buffer
+                sent.pop(target.id, None)
+
+    # -- SP105 ----------------------------------------------------------
+    def _sp105(self, fn: ast.AST, own: List[ast.AST]) -> None:
+        setish: Set[str] = set()
+        for node in own:
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value, setish):
+                for t in node.targets:
+                    setish.update(_assigned_names(t))
+        for node in own:
+            if isinstance(node, (ast.For, ast.AsyncFor)) \
+                    and _is_set_expr(node.iter, setish):
+                self._add(
+                    node.iter, "SP105",
+                    "iteration over a set has hash-dependent order inside "
+                    "a communicating rank program",
+                )
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint python ``source``; returns findings sorted by position.
+
+    A file that fails to parse yields one SP000 finding instead of
+    raising, so one broken file cannot abort a whole-tree lint run.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 1, (exc.offset or 1) - 1,
+                        "SP000", f"syntax error: {exc.msg}")]
+    return _FileLint(tree, path, source).run()
+
+
+def lint_file(path: Union[str, Path]) -> List[Finding]:
+    """Lint one file."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(sorted(q for q in p.rglob("*.py")
+                              if "__pycache__" not in q.parts))
+        else:
+            out.append(p)
+    return out
+
+
+def lint_paths(
+    paths: Iterable[Union[str, Path]],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    ``select``/``ignore`` restrict the reported rule codes.
+    """
+    selected = {c.upper() for c in select} if select else None
+    ignored = {c.upper() for c in ignore} if ignore else set()
+    findings: List[Finding] = []
+    for p in iter_python_files(paths):
+        findings.extend(lint_file(p))
+    return [
+        f for f in findings
+        if (selected is None or f.code in selected) and f.code not in ignored
+    ]

@@ -12,6 +12,7 @@ available here with no CLI changes.
     python -m repro info mesh.graph
     python -m repro embed mesh.graph --out mesh.xy
     python -m repro trace mesh.graph --nranks 64 --profile mesh.trace.jsonl
+    python -m repro lint src/ --format json
 
 The partition file contains one part id per line (METIS ``.part``
 convention), so the output drops into existing tool chains.
@@ -83,6 +84,21 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="β-refresh block size (ScalaPart ablation knob)")
     t.add_argument("--profile", metavar="PATH",
                    help="write the full JSONL trace here")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static SPMD-correctness checks (rules SP101-SP105) over "
+             "Python sources",
+    )
+    lint.add_argument("paths", nargs="+",
+                      help="files or directories to lint")
+    lint.add_argument("--format", default="text", choices=["text", "json"],
+                      dest="fmt", help="output format (json for CI)")
+    lint.add_argument("--select", metavar="CODES",
+                      help="comma-separated rule codes to enable "
+                           "(default: all)")
+    lint.add_argument("--ignore", metavar="CODES",
+                      help="comma-separated rule codes to disable")
     return ap
 
 
@@ -190,6 +206,22 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import findings_to_json, lint_paths
+
+    select = set(args.select.split(",")) if args.select else None
+    ignore = set(args.ignore.split(",")) if args.ignore else None
+    findings = lint_paths(args.paths, select=select, ignore=ignore)
+    if args.fmt == "json":
+        print(findings_to_json(findings))
+    else:
+        for f in findings:
+            print(f.format())
+        n = len(findings)
+        print(f"# {n} finding{'s' if n != 1 else ''}", file=sys.stderr)
+    return 1 if findings else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -201,6 +233,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_info(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -108,6 +108,7 @@ def run_parallel(
     seed: SeedLike = None,
     machine: MachineModel = QDR_CLUSTER,
     copy_mode: str = "readonly",
+    sanitize: Optional[bool] = None,
     max_imbalance: Optional[float] = None,
 ) -> PartitionResult:
     """Run a registered method on ``nranks`` virtual ranks.
@@ -122,7 +123,8 @@ def run_parallel(
     ``balance_bound``.  ``copy_mode`` is the engine's payload-delivery
     mode (see :func:`~repro.parallel.engine.run_spmd`); results are
     identical under both settings, ``"readonly"`` is the zero-copy fast
-    path.
+    path.  ``sanitize`` is forwarded to the engine's dynamic sanitizer
+    (``None`` defers to the ``REPRO_SANITIZE`` environment variable).
     """
     spec = method if isinstance(method, MethodSpec) else get_method(method)
     if spec.distributed is None:
@@ -145,7 +147,7 @@ def run_parallel(
     engine_seed = 0 if spec.seed_salt is None else derive_seed(seed,
                                                                spec.seed_salt)
     res = run_spmd(prog, nranks, machine=machine, seed=engine_seed,
-                   copy_mode=copy_mode)
+                   copy_mode=copy_mode, sanitize=sanitize)
     return _package(graph, res, spec.name, max_imbalance=spec.balance_bound)
 
 

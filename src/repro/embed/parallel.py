@@ -109,7 +109,7 @@ def _setup_level(
         from_b = np.flatnonzero(ghost_owner == b)
         if from_b.size:
             near_recv[b] = from_b
-    far = ~np.isin(ghost_owner, list(nbrs))
+    far = ~np.isin(ghost_owner, sorted(nbrs))
     far_slots = np.flatnonzero(far)
     comm.charge(float(dst.shape[0]) + own.shape[0])
     return _LevelSetup(

@@ -36,5 +36,15 @@ class DeadlockError(CommError):
     """Raised when the SPMD engine detects that no rank can make progress."""
 
 
+class CommWarning(UserWarning):
+    """Suspicious but non-fatal SPMD communication outcome.
+
+    Emitted by :func:`~repro.parallel.engine.run_spmd` when a program
+    finishes with undelivered messages still queued; the sanitizer mode
+    (``sanitize=True``) escalates the same condition to
+    :class:`CommError`.
+    """
+
+
 class ConfigError(ReproError):
     """Raised for invalid configuration values."""

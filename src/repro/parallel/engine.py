@@ -49,18 +49,29 @@ Semantics notes
   ``copy_mode="defensive"`` restores deep-copy-on-delivery semantics
   (received data never aliases sender memory), and a per-message
   ``comm.send(..., copy=True/False)`` overrides the engine mode.
+* ``run_spmd(..., sanitize=True)`` (or ``REPRO_SANITIZE=1`` in the
+  environment) enables the dynamic sanitizer
+  (:mod:`repro.analysis.sanitizer`): posted payloads are checksummed
+  and mutation before delivery raises :class:`CommError`, completed
+  collectives are ledgered per rank and cross-checked on exit,
+  communication generators created without ``yield from`` are reported
+  when their rank returns, and undelivered messages at exit become an
+  error instead of a :class:`~repro.errors.CommWarning`.
 """
 
 from __future__ import annotations
 
 import inspect
+import os
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import CommError, DeadlockError
+from ..analysis.sanitizer import Sanitizer, payload_checksum
+from ..errors import CommError, CommWarning, DeadlockError
 from ..rng import SeedLike, spawn_streams
 from .machine import MachineModel, QDR_CLUSTER
 from .trace import CommStats, DEFAULT_PHASE, PhaseBreakdown, SpmdResult
@@ -208,6 +219,8 @@ class _Op:
     copy: Optional[bool] = None
     #: memoised payload_words(value) — computed at most once per op
     wcache: Optional[float] = None
+    #: sanitizer checksum of the payload at post time (sanitize mode)
+    cksum: Optional[int] = None
 
 
 def _op_words(op: "_Op") -> float:
@@ -387,6 +400,43 @@ class Comm:
 
 
 # ----------------------------------------------------------------------
+# sanitized communicator
+# ----------------------------------------------------------------------
+
+#: Comm methods wrapped by the sanitizer's undriven-generator tracking
+_TRACKED_METHODS = (
+    "send", "recv", "sendrecv", "barrier", "bcast", "reduce", "allreduce",
+    "gather", "allgather", "scatter", "alltoall", "scan", "exchange",
+    "split",
+)
+
+
+class _SanitizedComm(Comm):
+    """Comm whose communication generators register with the engine's
+    sanitizer, so ops created without ``yield from`` can be reported
+    when the rank program returns (lint rule SP101's dynamic twin)."""
+
+    def _tracked(self, name: str, inner):
+        return self._engine.sanitizer.track(self._grank, name, inner)
+
+
+def _make_tracked_method(name: str):
+    base = getattr(Comm, name)
+
+    def method(self, *args: Any, **kwargs: Any):
+        return self._tracked(name, base(self, *args, **kwargs))
+
+    method.__name__ = name
+    method.__doc__ = base.__doc__
+    return method
+
+
+for _name in _TRACKED_METHODS:
+    setattr(_SanitizedComm, _name, _make_tracked_method(_name))
+del _name
+
+
+# ----------------------------------------------------------------------
 # engine
 # ----------------------------------------------------------------------
 
@@ -407,13 +457,14 @@ class _RankState:
 
 class _Engine:
     def __init__(self, nranks: int, machine: MachineModel, seed: SeedLike,
-                 copy_mode: str = "readonly") -> None:
+                 copy_mode: str = "readonly", sanitize: bool = False) -> None:
         if copy_mode not in _COPY_MODES:
             raise CommError(
                 f"unknown copy_mode {copy_mode!r}; expected one of {_COPY_MODES}"
             )
         self.machine = machine
         self.copy_mode = copy_mode
+        self.sanitizer: Optional[Sanitizer] = Sanitizer(nranks) if sanitize else None
         self.nranks = nranks
         self.clocks = np.zeros(nranks)
         self.comp_time = np.zeros(nranks)
@@ -477,9 +528,20 @@ class _Engine:
         self._next_cid += 1
         return g
 
+    def make_comm(self, group: _Group, grank: int) -> Comm:
+        cls = Comm if self.sanitizer is None else _SanitizedComm
+        return cls(self, group, grank)
+
 
 def _is_generator_function(fn) -> bool:
     return inspect.isgeneratorfunction(fn)
+
+
+def _env_sanitize() -> bool:
+    """Default for ``run_spmd``'s ``sanitize`` from the environment."""
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+        "1", "true", "yes", "on"
+    )
 
 
 def run_spmd(
@@ -489,6 +551,7 @@ def run_spmd(
     machine: MachineModel = QDR_CLUSTER,
     seed: SeedLike = None,
     copy_mode: str = "readonly",
+    sanitize: Optional[bool] = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute rank program ``fn`` on ``nranks`` virtual ranks.
@@ -504,19 +567,30 @@ def run_spmd(
     docstring's semantics notes).  The two modes are functionally
     equivalent for rank programs that follow the no-mutation contract —
     the determinism suite asserts identical results under both.
+
+    ``sanitize`` enables the dynamic sanitizer (payload checksums, the
+    collective ledger, undriven-generator and undelivered-message
+    errors — see the module docstring).  ``None`` (default) reads the
+    ``REPRO_SANITIZE`` environment variable, so a test shard can turn
+    it on without touching call sites.  A correct rank program returns
+    identical results with and without it.
     """
     if nranks < 1:
         raise CommError(f"nranks must be >= 1, got {nranks}")
-    eng = _Engine(nranks, machine, seed, copy_mode=copy_mode)
+    if sanitize is None:
+        sanitize = _env_sanitize()
+    eng = _Engine(nranks, machine, seed, copy_mode=copy_mode,
+                  sanitize=sanitize)
     world = eng.new_group(range(nranks))
     states: List[_RankState] = []
     for r in range(nranks):
-        comm = Comm(eng, world, r)
+        comm = eng.make_comm(world, r)
         out = fn(comm, *args, **kwargs)
         st = _RankState(r, out if inspect.isgenerator(out) else None)
         if st.gen is None:
             st.status = _DONE
             st.result = out
+            _check_undriven(eng, r)
         states.append(st)
 
     ready = deque(st for st in states if st.status == _READY)
@@ -535,6 +609,8 @@ def run_spmd(
         if not progress:
             _raise_deadlock(states)
 
+    _check_undelivered(eng)
+    _check_ledgers(eng)
     phases = {
         name: PhaseBreakdown(comp, comm)
         for name, (comp, comm) in eng.phase_acc.items()
@@ -552,6 +628,77 @@ def run_spmd(
     )
 
 
+def _check_undriven(eng: _Engine, grank: int) -> None:
+    """Sanitizer: fail if ``grank`` returned with undriven comm generators.
+
+    Calling ``comm.send(...)`` without ``yield from`` builds a generator
+    that never runs — the message is silently never posted (lint rule
+    SP101 catches the static pattern; this is the dynamic counterpart).
+    """
+    if eng.sanitizer is None:
+        return
+    leftover = eng.sanitizer.undriven_ops(grank)
+    if leftover:
+        ops = ", ".join(leftover)
+        raise CommError(
+            f"sanitizer: rank {grank} returned with {len(leftover)} "
+            f"communication generator(s) it never drove: {ops}; "
+            "communication methods must be driven with "
+            "'yield from comm.<op>(...)' or the operation never executes"
+        )
+
+
+def _check_undelivered(eng: _Engine) -> None:
+    """Report messages still queued when every rank has returned.
+
+    A leftover mailbox entry means some rank sent a message nobody
+    received — usually a tag/peer mismatch.  Warns by default
+    (:class:`~repro.errors.CommWarning`); the sanitizer escalates to
+    :class:`~repro.errors.CommError`.
+    """
+    leftovers = [
+        f"{len(q)} message(s) from rank {src} to rank {dst} "
+        f"(tag={tag}, comm={cid})"
+        for (src, dst, tag, cid), q in sorted(eng.mailbox.items())
+        if q
+    ]
+    if not leftovers:
+        return
+    msg = (
+        "SPMD program finished with undelivered messages: "
+        + "; ".join(leftovers)
+        + " — check for mismatched tags or a missing recv"
+    )
+    if eng.sanitizer is not None:
+        raise CommError("sanitizer: " + msg)
+    warnings.warn(msg, CommWarning, stacklevel=3)
+
+
+def _check_ledgers(eng: _Engine) -> None:
+    """Sanitizer: cross-check per-communicator collective sequences."""
+    if eng.sanitizer is None:
+        return
+    mismatch = eng.sanitizer.sequence_mismatch(eng.groups)
+    if mismatch:
+        raise CommError("sanitizer: " + mismatch)
+
+
+def _sanitize_collective(eng: _Engine, kind: str, parked: List[_RankState]) -> None:
+    """Verify posted-payload checksums and book the collective ledger."""
+    root = parked[0].op.root if kind in ("bcast", "reduce", "gather", "scatter") \
+        else None
+    for s in parked:
+        if s.op.cksum is not None and payload_checksum(s.op.value) != s.op.cksum:
+            raise CommError(
+                f"sanitizer: rank {s.grank} had its {kind} payload mutated "
+                "between posting the collective and its completion; under "
+                "copy_mode='readonly' other ranks may alias this memory — "
+                "post a copy or delay the mutation until the collective "
+                "completes"
+            )
+        eng.sanitizer.record_collective(s.grank, s.op.cid, kind, root)
+
+
 def _step(eng: _Engine, states: List[_RankState], st: _RankState) -> None:
     """Run one rank until it parks on a blocking op or finishes."""
     value = st.send_value
@@ -562,6 +709,7 @@ def _step(eng: _Engine, states: List[_RankState], st: _RankState) -> None:
         except StopIteration as stop:
             st.status = _DONE
             st.result = stop.value
+            _check_undriven(eng, st.grank)
             return
         if not isinstance(op, _Op):
             raise CommError(
@@ -574,6 +722,12 @@ def _step(eng: _Engine, states: List[_RankState], st: _RankState) -> None:
             continue
         st.op = op
         st.status = _PARKED
+        if eng.sanitizer is not None and op.kind in _COLLECTIVES \
+                and op.value is not None:
+            # snapshot the payload at post time; verified when the
+            # collective completes (other ranks run in between and may
+            # alias this memory via the Shared idiom)
+            op.cksum = payload_checksum(op.value)
         return
 
 
@@ -587,9 +741,12 @@ def _do_send(eng: _Engine, grank: int, op: _Op) -> None:
     # sender pays the injection overhead; transfer overlaps
     eng.charge_comm(grank, eng.machine.t_s)
     arrival = t_post + eng.machine.message_cost(words)
+    cksum = None
+    if eng.sanitizer is not None and op.value is not None:
+        cksum = payload_checksum(op.value)
     key = (grank, gdst, op.tag, op.cid)
     eng.mailbox.setdefault(key, deque()).append(
-        (arrival, words, eng.deliver(op.value, op.copy))
+        (arrival, words, eng.deliver(op.value, op.copy), cksum)
     )
     eng.messages += 1
     eng.words_sent += words
@@ -613,7 +770,15 @@ def _complete_recvs(eng: _Engine, states: List[_RankState], ready: deque) -> boo
         q = eng.mailbox.get(key)
         if not q:
             continue
-        arrival, words, payload = q.popleft()
+        arrival, words, payload, cksum = q.popleft()
+        if cksum is not None and payload_checksum(payload) != cksum:
+            raise CommError(
+                f"sanitizer: rank {gsrc} mutated a buffer it had posted to "
+                f"send(tag={st.op.tag}) before rank {st.grank} received it; "
+                "under copy_mode='readonly' the receiver aliases the "
+                "sender's memory — send a copy (obj.copy() or copy=True) "
+                "or delay the mutation until after the matching receive"
+            )
         stats = eng.stats_for(st.grank)
         stats.recvs[st.grank] += 1
         stats.words_received[st.grank] += words
@@ -646,15 +811,23 @@ def _complete_collectives(eng: _Engine, states: List[_RankState], ready: deque) 
         parked.sort(key=lambda s: group.members.index(s.grank))
         kinds = {s.op.kind for s in parked}
         if len(kinds) != 1:
-            raise CommError(
+            msg = (
                 f"mismatched collectives on comm {cid}: "
                 + ", ".join(f"rank {group.local(s.grank)}:{s.op.kind}" for s in parked)
             )
+            if eng.sanitizer is not None:
+                history = "\n".join(
+                    "  " + eng.sanitizer.ledger_tail(s.grank) for s in parked
+                )
+                msg += "\nrecent collectives before the mismatch:\n" + history
+            raise CommError(msg)
         kind = kinds.pop()
         if kind in ("bcast", "reduce", "gather", "scatter"):
             roots = {s.op.root for s in parked}
             if len(roots) != 1:
                 raise CommError(f"mismatched roots in {kind} on comm {cid}: {roots}")
+        if eng.sanitizer is not None:
+            _sanitize_collective(eng, kind, parked)
         _count_collective(eng, kind, parked)
         _run_collective(eng, group, kind, parked)
         for st in parked:
@@ -797,7 +970,7 @@ def _run_collective(eng: _Engine, group: _Group, kind: str, parked: List[_RankSt
             lst.sort()
             g = eng.new_group([grank for _, _, grank in lst])
             for _, i, grank in lst:
-                new_comms[i] = Comm(eng, g, grank)
+                new_comms[i] = eng.make_comm(g, grank)
         results = [new_comms.get(i) for i in range(p)]
     else:  # pragma: no cover - guarded by _COLLECTIVES
         raise CommError(f"unhandled collective {kind}")

@@ -1,0 +1,27 @@
+"""Repo gate: the library and test tree must lint clean.
+
+Deliberate bad fixtures (e.g. the engine's mismatched-collective
+tests) carry ``# repro: lint-ok[CODE]`` suppressions; anything else
+that fires here is a real finding to fix.
+"""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _fmt(findings):
+    return "\n".join(f.format() for f in findings)
+
+
+def test_src_lints_clean():
+    findings = lint_paths([REPO / "src"])
+    assert findings == [], _fmt(findings)
+
+
+def test_tests_and_benchmarks_lint_clean():
+    findings = lint_paths([REPO / "tests", REPO / "benchmarks",
+                           REPO / "examples"])
+    assert findings == [], _fmt(findings)

@@ -167,9 +167,9 @@ class TestCollectives:
     def test_mismatched_collectives_raise(self):
         def prog(comm):
             if comm.rank == 0:
-                yield from comm.barrier()
+                yield from comm.barrier()  # repro: lint-ok[SP102] deliberate bug
             else:
-                yield from comm.allreduce(1)
+                yield from comm.allreduce(1)  # repro: lint-ok[SP102]
 
         with pytest.raises(CommError, match="mismatch"):
             run0(prog, 2)
@@ -222,7 +222,8 @@ class TestPointToPoint:
             if comm.rank == 0:
                 arr = np.ones(4)
                 yield from comm.send(arr, dest=1)
-                yield from comm.barrier()
+                # both arms barrier exactly once: schedules agree
+                yield from comm.barrier()  # repro: lint-ok[SP102]
                 return arr.sum()
             got = yield from comm.recv(source=0)
             got *= 100
@@ -341,8 +342,9 @@ class TestExchange:
         def prog(comm):
             if comm.rank == 0:
                 arr = np.ones(3)
-                got = yield from comm.exchange({1: arr})
-                yield from comm.barrier()
+                # both arms exchange+barrier once: schedules agree
+                got = yield from comm.exchange({1: arr})  # repro: lint-ok[SP102]
+                yield from comm.barrier()  # repro: lint-ok[SP102]
                 return float(arr.sum())
             got = yield from comm.exchange({0: None})
             got[0] if False else None
@@ -433,7 +435,8 @@ class TestCollectiveProperties:
     def test_mismatched_kinds_raise_commerror(self):
         def prog(comm):
             if comm.rank == 0:
-                return (yield from comm.allgather(comm.rank))
+                # deliberate bug: ranks disagree on the collective kind
+                return (yield from comm.allgather(comm.rank))  # repro: lint-ok[SP102]
             return (yield from comm.alltoall([0] * comm.size))
 
         with pytest.raises(CommError, match="mismatch"):
@@ -636,8 +639,9 @@ class TestCopyModes:
             if comm.rank == 0:
                 arr = np.arange(4.0)
                 yield from comm.send(arr, dest=1)
-                arr[:] = -1.0  # mutate after post: receiver unaffected
-                yield from comm.barrier()
+                # mutate after post: legal in defensive mode (copy at post)
+                arr[:] = -1.0  # repro: lint-ok[SP104]
+                yield from comm.barrier()  # repro: lint-ok[SP102] both arms barrier
                 return None
             got = yield from comm.recv(source=0)
             yield from comm.barrier()
