@@ -3,7 +3,7 @@
 Two halves, one contract (see DESIGN §8):
 
 * :mod:`repro.analysis.lint` — the ``repro lint`` static AST pass over
-  rank programs and library code (rules SP101–SP105);
+  rank programs and library code (rules SP101–SP106);
 * :mod:`repro.analysis.sanitizer` — the runtime sanitizer behind
   ``run_spmd(..., sanitize=True)``: payload checksums, the collective
   ledger, undriven-generator and undelivered-message reporting.

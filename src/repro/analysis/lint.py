@@ -31,6 +31,11 @@ SP104   a local variable mutated after being passed to ``comm.send`` /
 SP105   iteration over a ``set`` inside a communicating rank program —
         set order is hash-dependent, so payload order can differ
         between runs (sort first, e.g. ``for x in sorted(s)``)
+SP106   an ``except`` clause catches :class:`~repro.errors.CommError` /
+        :class:`~repro.errors.ReproError` and silently swallows it —
+        the handler neither re-raises, nor raises a converted error,
+        nor uses the bound exception, so a typed fault turns into a
+        silent wrong answer
 ======  ================================================================
 
 Dict iteration is *not* flagged: Python dicts preserve insertion order,
@@ -115,8 +120,22 @@ RULES: Dict[str, Rule] = {
             "iteration over a set feeds communication",
             "iterate 'sorted(the_set)' so payload order is deterministic",
         ),
+        Rule(
+            "SP106",
+            "typed fault caught and silently swallowed",
+            "re-raise, raise a converted error, or bind the exception "
+            "('except CommError as exc:') and record it — swallowed "
+            "faults become silent wrong answers",
+        ),
     )
 }
+
+#: exception names whose silent swallowing SP106 flags (the typed fault
+#: taxonomy of repro.errors — the base classes plus the CommError family)
+SWALLOWABLE_ERRORS = frozenset({
+    "ReproError", "CommError", "DeadlockError", "RankFailure",
+    "BudgetExceededError",
+})
 
 #: every Comm method that must be driven with ``yield from``
 COMM_METHODS = frozenset({
@@ -369,6 +388,7 @@ class _FileLint:
         self._collect_imports()
         self._sp101(self.tree)
         self._sp103(self.tree)
+        self._sp106(self.tree)
         for node in ast.walk(self.tree):
             if isinstance(node, _FUNC_NODES):
                 self._check_function(node)
@@ -452,6 +472,53 @@ class _FileLint:
                     node, "SP103",
                     f"'random.{func.attr}' uses the shared global stdlib RNG",
                 )
+
+    # -- SP106 ----------------------------------------------------------
+    def _sp106(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = self._sp106_caught(node.type)
+            if not caught:
+                continue
+            if self._sp106_handled(node):
+                continue
+            self._add(
+                node, "SP106",
+                f"'{caught}' caught and silently swallowed — the handler "
+                "neither re-raises nor uses the exception",
+            )
+
+    @staticmethod
+    def _sp106_caught(expr: Optional[ast.AST]) -> Optional[str]:
+        """First swallowable error name this except clause catches."""
+        if expr is None:
+            return None
+        exprs = expr.elts if isinstance(expr, ast.Tuple) else [expr]
+        for e in exprs:
+            name = None
+            if isinstance(e, ast.Name):
+                name = e.id
+            elif isinstance(e, ast.Attribute):
+                name = e.attr
+            if name in SWALLOWABLE_ERRORS:
+                return name
+        return None
+
+    @staticmethod
+    def _sp106_handled(handler: ast.ExceptHandler) -> bool:
+        """Does the handler re-raise, raise a conversion, or use the
+        bound exception?  (Nested scopes don't count — a ``raise``
+        inside a nested ``def`` runs later, if ever.)"""
+        for stmt in handler.body:
+            for node in _own_walk(stmt):
+                if isinstance(node, ast.Raise):
+                    return True
+                if (handler.name and isinstance(node, ast.Name)
+                        and node.id == handler.name
+                        and isinstance(node.ctx, ast.Load)):
+                    return True
+        return False
 
     # -- per-function rules ---------------------------------------------
     def _check_function(self, fn: ast.AST) -> None:

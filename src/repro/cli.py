@@ -12,6 +12,7 @@ available here with no CLI changes.
     python -m repro info mesh.graph
     python -m repro embed mesh.graph --out mesh.xy
     python -m repro trace mesh.graph --nranks 64 --profile mesh.trace.jsonl
+    python -m repro chaos --methods scalapart,parmetis --plans 8 --seed 0
     python -m repro lint src/ --format json
 
 The partition file contains one part id per line (METIS ``.part``
@@ -21,6 +22,7 @@ convention), so the output drops into existing tool chains.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -85,9 +87,46 @@ def _build_parser() -> argparse.ArgumentParser:
     t.add_argument("--profile", metavar="PATH",
                    help="write the full JSONL trace here")
 
+    c = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: run methods under seeded fault "
+             "plans and report recovery outcomes as JSON",
+    )
+    c.add_argument("graph", nargs="?", default=None,
+                   help="input graph (METIS format; default: generate a "
+                        "random Delaunay mesh)")
+    c.add_argument("--n", type=int, default=300,
+                   help="vertices of the generated mesh when no graph "
+                        "file is given")
+    c.add_argument("--methods", default="scalapart",
+                   help="comma-separated CLI method names to sweep")
+    c.add_argument("--nranks", type=int, default=8)
+    c.add_argument("--plans", type=int, default=4,
+                   help="seeded fault plans per method")
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--kill-rate", type=float, default=2e-4,
+                   help="per-op probability of killing a rank")
+    c.add_argument("--kill-op", type=int, default=None,
+                   help="schedule a transient kill of rank (plan %% nranks) "
+                        "at this op ordinal in every plan (deterministic "
+                        "recovery demo)")
+    c.add_argument("--drop-rate", type=float, default=2e-4)
+    c.add_argument("--duplicate-rate", type=float, default=1e-4)
+    c.add_argument("--delay-rate", type=float, default=1e-3)
+    c.add_argument("--corrupt-rate", type=float, default=0.0)
+    c.add_argument("--retries", type=int, default=1,
+                   help="full-P retries before shrinking (RetryPolicy)")
+    c.add_argument("--max-steps", type=int, default=None,
+                   help="engine op budget per attempt (scaled by backoff)")
+    c.add_argument("--no-recovery", action="store_true",
+                   help="propagate the first typed error instead of "
+                        "descending the recovery ladder")
+    c.add_argument("--out", help="write the JSON report here "
+                                 "(default: stdout)")
+
     lint = sub.add_parser(
         "lint",
-        help="static SPMD-correctness checks (rules SP101-SP105) over "
+        help="static SPMD-correctness checks (rules SP101-SP106) over "
              "Python sources",
     )
     lint.add_argument("paths", nargs="+",
@@ -206,6 +245,97 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+#: salt namespace separating chaos plan seeds from other derivations
+_CHAOS_SALT = 0xC4A0
+
+
+def _cmd_chaos(args) -> int:
+    from .core.parallel import RetryPolicy
+    from .parallel.faults import FaultPlan
+    from .rng import derive_seed
+
+    if args.graph:
+        graph = read_metis(args.graph)
+        gname = args.graph
+        gcoords = None
+    else:
+        from .graph.generators import random_delaunay
+
+        graph, gcoords = random_delaunay(args.n, seed=args.seed)
+        gname = f"delaunay{args.n}"
+    retry = None if args.no_recovery else RetryPolicy(retries=args.retries)
+    rates = {
+        "kill_rate": args.kill_rate,
+        "drop_rate": args.drop_rate,
+        "duplicate_rate": args.duplicate_rate,
+        "delay_rate": args.delay_rate,
+        "corrupt_rate": args.corrupt_rate,
+    }
+    runs = []
+    for name in args.methods.split(","):
+        spec = get_method(name.strip())
+        if spec.distributed is None:
+            raise ReproError(
+                f"method {spec.name!r} has no distributed implementation "
+                f"to inject faults into"
+            )
+        coords = None
+        if spec.needs_coords:
+            coords = gcoords if gcoords is not None else hu_layout(
+                graph, seed=args.seed)
+        for i in range(args.plans):
+            kills = ()
+            if args.kill_op is not None:
+                from .parallel.faults import KillRank
+
+                kills = (KillRank(rank=i % args.nranks, at_op=args.kill_op),)
+            plan = FaultPlan(seed=derive_seed(args.seed, _CHAOS_SALT, i),
+                             kills=kills, **rates)
+            run = {"method": spec.name, "plan": i, "plan_seed": plan.seed}
+            try:
+                res = run_parallel(
+                    spec, graph, args.nranks, coords=coords,
+                    seed=args.seed, faults=plan, retry=retry,
+                    max_steps=args.max_steps,
+                )
+            except ReproError as exc:
+                run["status"] = "failed"
+                run["error"] = f"{type(exc).__name__}: {exc}"
+            else:
+                rec = res.extras.get("recovery")
+                recovered = bool(rec and rec.get("recovered"))
+                run["status"] = "recovered" if recovered else "ok"
+                run["cut"] = int(res.bisection.cut_size)
+                run["imbalance"] = float(res.bisection.imbalance)
+                if rec is not None:
+                    run["recovery"] = rec
+            runs.append(run)
+    counts = {"ok": 0, "recovered": 0, "failed": 0}
+    for run in runs:
+        counts[run["status"]] += 1
+    report = {
+        "graph": gname,
+        "vertices": graph.num_vertices,
+        "nranks": args.nranks,
+        "seed": args.seed,
+        "plans_per_method": args.plans,
+        "rates": rates,
+        "recovery_enabled": retry is not None,
+        "runs": runs,
+        "summary": counts,
+    }
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    print(f"# chaos: {counts['ok']} clean, {counts['recovered']} recovered, "
+          f"{counts['failed']} failed "
+          f"of {len(runs)} runs", file=sys.stderr)
+    return 1 if counts["failed"] else 0
+
+
 def _cmd_lint(args) -> int:
     from .analysis import findings_to_json, lint_paths
 
@@ -233,6 +363,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_info(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "lint":
             return _cmd_lint(args)
     except ReproError as exc:

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..baselines.multilevel import parmetis_like, scotch_like
 from ..baselines.parallel_ml import (
@@ -56,6 +56,7 @@ __all__ = [
     "method_names",
     "cli_choices",
     "methods_table",
+    "recovery_ladder",
 ]
 
 
@@ -165,6 +166,32 @@ def cli_choices(traceable_only: bool = False) -> List[str]:
     """Sorted CLI names (the argparse ``choices`` lists)."""
     return sorted(s.cli_name for s in METHOD_REGISTRY.values()
                   if s.traceable or not traceable_only)
+
+
+def recovery_ladder(spec: MethodSpec) -> List[Tuple[str, MethodSpec]]:
+    """Degradation ladder for a method whose engine runs keep failing.
+
+    Consumed by :func:`repro.core.parallel.run_parallel` after retries
+    and rank-shrinking are exhausted.  Each entry is ``(mode, spec)``
+    with ``mode`` ``"dist"`` (run the spec's rank program on the
+    engine, faults still applied) or ``"seq"`` (run its sequential
+    entry point — outside the fault domain, so it can only fail on its
+    own merits).  The order follows the quality ladder of the registry:
+    distributed ScalaPart first (skipped when it is the failing method
+    itself), then sequential ScalaPart, then sequential RCB as the
+    geometry-only last resort.
+    """
+    ladder: List[Tuple[str, MethodSpec]] = []
+    scala = METHOD_REGISTRY.get("ScalaPart")
+    if scala is not None:
+        if scala.distributed is not None and scala.name != spec.name:
+            ladder.append(("dist", scala))
+        if scala.sequential is not None:
+            ladder.append(("seq", scala))
+    rcb = METHOD_REGISTRY.get("RCB")
+    if rcb is not None and rcb.sequential is not None:
+        ladder.append(("seq", rcb))
+    return ladder
 
 
 def methods_table() -> str:

@@ -10,27 +10,55 @@ The five historical ``*_parallel`` wrappers remain as thin aliases.
 :func:`dist_scalapart` is the rank program combining the three shared
 pipeline stages of paper §3 (phases are labelled so Figures 7–8 can be
 regenerated from the trace).
+
+Fault recovery
+--------------
+With a :class:`RetryPolicy`, :func:`run_parallel` degrades gracefully
+instead of propagating the first engine fault.  On a typed failure
+(:class:`~repro.errors.RankFailure`, :class:`~repro.errors.
+DeadlockError`, :class:`~repro.errors.BudgetExceededError`, any other
+:class:`~repro.errors.CommError`, or a balance-validation
+:class:`~repro.errors.PartitionError`) it descends a deterministic
+ladder:
+
+1. **retry** — re-run at full ``P`` with a re-salted seed and the
+   simulated budgets scaled by ``backoff**attempt``;
+2. **shrink** — halve the rank count (``P/2``, ``P/4``, … down to
+   ``min_ranks``), the Holtgrewe-style repartition-on-fewer-PEs path;
+3. **fallback** — descend the registry ladder
+   (:func:`~repro.core.methods.recovery_ladder`): distributed ScalaPart,
+   then sequential ScalaPart, then sequential RCB.
+
+Every recovered partition is validated against the producing method's
+``balance_bound`` (or the policy's ``validate_imbalance`` when the
+method declares none), so degradation never returns a silently broken
+partition.  The full attempt trail lands in
+``result.extras["recovery"]``; the whole ladder is deterministic per
+``(seed, FaultPlan)``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from ..errors import ConfigError, PartitionError
+from ..errors import CommError, ConfigError, PartitionError, ReproError
 from ..graph.csr import CSRGraph
 from ..graph.partition import Bisection
 from ..parallel.engine import run_spmd
+from ..parallel.faults import FaultPlan
 from ..parallel.machine import MachineModel, QDR_CLUSTER
 from ..parallel.trace import SpmdResult
 from ..rng import SeedLike, derive_seed
 from .config import ScalaPartConfig
-from .methods import MethodSpec, get_method
+from .methods import MethodSpec, get_method, recovery_ladder
 from .stages import as_coords
 from ..results import PartitionResult
 
 __all__ = [
+    "RetryPolicy",
     "run_parallel",
     "dist_scalapart",
     "scalapart_parallel",
@@ -39,6 +67,30 @@ __all__ = [
     "scotch_parallel",
     "rcb_parallel",
 ]
+
+#: seed-salting namespace for recovery attempts (epoch 0 keeps the
+#: caller's seed; attempt k reruns with derive_seed(seed, salt, k))
+_RETRY_SALT = 0x5AFE
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :func:`run_parallel` degrades when an engine run fails.
+
+    ``retries`` re-runs at full ``P`` (re-salted seed, budgets scaled by
+    ``backoff`` per attempt) come first; then, if ``shrink``, the rank
+    count is halved down to ``min_ranks``; then, if ``fallback``, the
+    registry's :func:`~repro.core.methods.recovery_ladder` is descended.
+    ``validate_imbalance`` is the balance bound applied to recovered
+    partitions whose method declares no ``balance_bound`` of its own.
+    """
+
+    retries: int = 1
+    backoff: float = 2.0
+    shrink: bool = True
+    min_ranks: int = 2
+    fallback: bool = True
+    validate_imbalance: float = 0.15
 
 
 def dist_scalapart(
@@ -98,6 +150,188 @@ def _package(
     return out
 
 
+def _engine_attempt(
+    spec: MethodSpec,
+    graph: CSRGraph,
+    nranks: int,
+    *,
+    coords,
+    config,
+    seed,
+    machine,
+    copy_mode,
+    sanitize,
+    max_imbalance,
+    faults,
+    max_steps,
+    max_sim_seconds,
+) -> PartitionResult:
+    """One engine run of ``spec`` on ``nranks`` ranks, packaged+validated."""
+    target = (max_imbalance if max_imbalance is not None
+              else spec.default_max_imbalance)
+
+    def prog(comm):
+        return (yield from spec.distributed(
+            comm, graph, coords=coords, config=config, seed=seed,
+            max_imbalance=target,
+        ))
+
+    engine_seed = 0 if spec.seed_salt is None else derive_seed(seed,
+                                                               spec.seed_salt)
+    res = run_spmd(prog, nranks, machine=machine, seed=engine_seed,
+                   copy_mode=copy_mode, sanitize=sanitize, faults=faults,
+                   max_steps=max_steps, max_sim_seconds=max_sim_seconds)
+    return _package(graph, res, spec.name, max_imbalance=spec.balance_bound)
+
+
+def _layout_coords(graph: CSRGraph, seed: SeedLike):
+    """Deterministic fallback coordinates for coordinate-based methods."""
+    from ..embed.multilevel import hu_layout
+
+    return hu_layout(graph, seed=seed)
+
+
+def _scaled(budget: Optional[float], scale: float):
+    if budget is None:
+        return None
+    return type(budget)(budget * scale)
+
+
+def _first_line(exc: BaseException) -> str:
+    return str(exc).splitlines()[0] if str(exc) else type(exc).__name__
+
+
+def _run_recovering(
+    spec: MethodSpec,
+    graph: CSRGraph,
+    nranks: int,
+    *,
+    coords,
+    config,
+    seed,
+    machine,
+    copy_mode,
+    sanitize,
+    max_imbalance,
+    faults: Optional[FaultPlan],
+    retry: RetryPolicy,
+    max_steps,
+    max_sim_seconds,
+) -> PartitionResult:
+    """Descend the recovery ladder until an attempt yields a valid cut."""
+    attempts: List[Dict[str, Any]] = []
+    epoch = 0
+    last_exc: Optional[BaseException] = None
+
+    def bound_for(aspec: MethodSpec) -> float:
+        if aspec.balance_bound is not None:
+            return aspec.balance_bound
+        return retry.validate_imbalance
+
+    def finish(out: PartitionResult, rec: Dict[str, Any],
+               aspec: MethodSpec) -> PartitionResult:
+        rec["status"] = "ok"
+        rec["cut"] = int(out.bisection.cut_size)
+        rec["imbalance"] = float(out.bisection.imbalance)
+        attempts.append(rec)
+        out.extras["recovery"] = {
+            "attempts": attempts,
+            "recovered": len(attempts) > 1,
+            "final_method": aspec.name,
+            "final_nranks": rec["nranks"],
+        }
+        return out
+
+    def engine_attempt(step: str, aspec: MethodSpec,
+                       p: int) -> Optional[PartitionResult]:
+        nonlocal epoch, last_exc
+        scale = retry.backoff ** epoch
+        aseed = seed if epoch == 0 else derive_seed(seed, _RETRY_SALT, epoch)
+        plan = None if faults is None else faults.for_attempt(epoch)
+        rec: Dict[str, Any] = {"step": step, "mode": "engine",
+                               "method": aspec.name, "nranks": p,
+                               "attempt": epoch}
+        epoch += 1
+        try:
+            out = _engine_attempt(
+                aspec, graph, p, coords=coords, config=config, seed=aseed,
+                machine=machine, copy_mode=copy_mode, sanitize=sanitize,
+                max_imbalance=max_imbalance, faults=plan,
+                max_steps=_scaled(max_steps, scale),
+                max_sim_seconds=_scaled(max_sim_seconds, scale),
+            )
+            out.validate(bound_for(aspec))
+        except (CommError, PartitionError) as exc:
+            rec["status"] = "failed"
+            rec["error"] = f"{type(exc).__name__}: {_first_line(exc)}"
+            attempts.append(rec)
+            last_exc = exc
+            return None
+        return finish(out, rec, aspec)
+
+    def sequential_attempt(aspec: MethodSpec) -> Optional[PartitionResult]:
+        nonlocal epoch, last_exc
+        aseed = derive_seed(seed, _RETRY_SALT, epoch)
+        rec: Dict[str, Any] = {"step": "fallback", "mode": "sequential",
+                               "method": aspec.name, "nranks": 1,
+                               "attempt": epoch}
+        epoch += 1
+        try:
+            scoords = None
+            if aspec.needs_coords:
+                scoords = (coords if coords is not None
+                           else _layout_coords(graph, aseed))
+            kwargs: Dict[str, Any] = {"seed": aseed}
+            if aspec.accepts_config:
+                kwargs["config"] = config
+            out = aspec.sequential(graph, scoords, **kwargs)
+            out.validate(bound_for(aspec))
+        except ReproError as exc:
+            rec["status"] = "failed"
+            rec["error"] = f"{type(exc).__name__}: {_first_line(exc)}"
+            attempts.append(rec)
+            last_exc = exc
+            return None
+        return finish(out, rec, aspec)
+
+    # stage 1: the primary run plus retries at full rank count
+    for k in range(max(0, retry.retries) + 1):
+        out = engine_attempt("primary" if k == 0 else "retry", spec, nranks)
+        if out is not None:
+            return out
+
+    # stage 2: shrink the rank count (repartition on fewer virtual PEs)
+    p_floor = max(1, retry.min_ranks)
+    p_last = nranks
+    if retry.shrink:
+        p = nranks // 2
+        while p >= p_floor:
+            p_last = p
+            out = engine_attempt("shrink", spec, p)
+            if out is not None:
+                return out
+            if p == 1:
+                break
+            p //= 2
+
+    # stage 3: descend the registry ladder to simpler methods
+    if retry.fallback:
+        for mode, fspec in recovery_ladder(spec):
+            if mode == "dist":
+                out = engine_attempt("fallback", fspec, p_last)
+            else:
+                out = sequential_attempt(fspec)
+            if out is not None:
+                return out
+
+    raise PartitionError(
+        f"recovery exhausted after {len(attempts)} attempt(s) for method "
+        f"{spec.name!r} on {nranks} ranks; last error: "
+        f"{type(last_exc).__name__ if last_exc else 'none'}: "
+        f"{_first_line(last_exc) if last_exc else ''}"
+    ) from last_exc
+
+
 def run_parallel(
     method,
     graph: CSRGraph,
@@ -110,6 +344,10 @@ def run_parallel(
     copy_mode: str = "readonly",
     sanitize: Optional[bool] = None,
     max_imbalance: Optional[float] = None,
+    faults: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    max_steps: Optional[int] = None,
+    max_sim_seconds: Optional[float] = None,
 ) -> PartitionResult:
     """Run a registered method on ``nranks`` virtual ranks.
 
@@ -125,6 +363,14 @@ def run_parallel(
     identical under both settings, ``"readonly"`` is the zero-copy fast
     path.  ``sanitize`` is forwarded to the engine's dynamic sanitizer
     (``None`` defers to the ``REPRO_SANITIZE`` environment variable).
+
+    ``faults`` injects a deterministic
+    :class:`~repro.parallel.faults.FaultPlan` into the engine;
+    ``max_steps``/``max_sim_seconds`` bound the run (see
+    :func:`~repro.parallel.engine.run_spmd`).  Without a ``retry``
+    policy the resulting typed errors propagate to the caller; with one,
+    the recovery ladder documented in the module docstring is descended
+    and the attempt trail is attached as ``extras["recovery"]``.
     """
     spec = method if isinstance(method, MethodSpec) else get_method(method)
     if spec.distributed is None:
@@ -135,20 +381,19 @@ def run_parallel(
         raise PartitionError("cannot bisect fewer than 2 vertices")
     if spec.needs_coords:
         coords = as_coords(coords)
-    target = (max_imbalance if max_imbalance is not None
-              else spec.default_max_imbalance)
-
-    def prog(comm):
-        return (yield from spec.distributed(
-            comm, graph, coords=coords, config=config, seed=seed,
-            max_imbalance=target,
-        ))
-
-    engine_seed = 0 if spec.seed_salt is None else derive_seed(seed,
-                                                               spec.seed_salt)
-    res = run_spmd(prog, nranks, machine=machine, seed=engine_seed,
-                   copy_mode=copy_mode, sanitize=sanitize)
-    return _package(graph, res, spec.name, max_imbalance=spec.balance_bound)
+    if retry is None:
+        return _engine_attempt(
+            spec, graph, nranks, coords=coords, config=config, seed=seed,
+            machine=machine, copy_mode=copy_mode, sanitize=sanitize,
+            max_imbalance=max_imbalance, faults=faults,
+            max_steps=max_steps, max_sim_seconds=max_sim_seconds,
+        )
+    return _run_recovering(
+        spec, graph, nranks, coords=coords, config=config, seed=seed,
+        machine=machine, copy_mode=copy_mode, sanitize=sanitize,
+        max_imbalance=max_imbalance, faults=faults, retry=retry,
+        max_steps=max_steps, max_sim_seconds=max_sim_seconds,
+    )
 
 
 # ----------------------------------------------------------------------

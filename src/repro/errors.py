@@ -33,15 +33,64 @@ class CommError(ReproError):
 
 
 class DeadlockError(CommError):
-    """Raised when the SPMD engine detects that no rank can make progress."""
+    """Raised when the SPMD engine detects that no rank can make progress.
+
+    ``parked`` carries one dict per blocked rank — ``rank``, ``kind``
+    (the op the rank is parked on), ``peer`` (source rank for a recv,
+    ``None`` for collectives), ``tag``, ``comm`` and ``phase`` — so a
+    deadlock is diagnosable without re-running under trace.
+    """
+
+    def __init__(self, message: str, parked=None) -> None:
+        super().__init__(message)
+        self.parked = list(parked) if parked else []
+
+
+class RankFailure(CommError):
+    """A virtual rank was killed (fault injection) and the job depends
+    on it.
+
+    Raised when a surviving rank communicates with a dead rank (blocked
+    recv with an empty mailbox, or a collective the dead rank can never
+    join), or at exit when a killed rank's result is missing.  Carries
+    the dead rank, the phase it died in, and the simulated clock at the
+    point of detection.
+    """
+
+    def __init__(self, message: str, *, dead_rank: int = -1,
+                 phase: str = "", sim_time: float = 0.0,
+                 detected_by=None) -> None:
+        super().__init__(message)
+        self.dead_rank = dead_rank
+        self.phase = phase
+        self.sim_time = sim_time
+        self.detected_by = detected_by
+
+
+class BudgetExceededError(CommError):
+    """A simulated-execution budget was exhausted.
+
+    :func:`~repro.parallel.engine.run_spmd` converts runaway programs
+    into this typed error instead of a hang when ``max_steps`` or
+    ``max_sim_seconds`` is set.  ``budget`` names the exhausted limit
+    (``"steps"`` or ``"sim_seconds"``); ``limit``/``used`` quantify it.
+    """
+
+    def __init__(self, message: str, *, budget: str = "steps",
+                 limit: float = 0.0, used: float = 0.0) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.limit = limit
+        self.used = used
 
 
 class CommWarning(UserWarning):
     """Suspicious but non-fatal SPMD communication outcome.
 
     Emitted by :func:`~repro.parallel.engine.run_spmd` when a program
-    finishes with undelivered messages still queued; the sanitizer mode
-    (``sanitize=True``) escalates the same condition to
+    finishes with undelivered messages still queued; the warning text
+    lists every pending message (source→dest, tag, words).  The
+    sanitizer mode (``sanitize=True``) escalates the same condition to
     :class:`CommError`.
     """
 

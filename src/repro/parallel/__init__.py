@@ -1,6 +1,13 @@
 """SPMD virtual machine: coroutine ranks, MPI-like API, Hockney costs."""
 
 from .engine import Comm, payload_words, run_spmd
+from .faults import (
+    FaultEvent,
+    FaultPlan,
+    KillRank,
+    MessageFault,
+    corrupt_payload,
+)
 from .machine import MachineModel, QDR_CLUSTER, ZERO_COST
 from .topology import ProcessGrid, grid_dims
 from .trace import (
@@ -17,6 +24,11 @@ __all__ = [
     "Comm",
     "payload_words",
     "run_spmd",
+    "FaultEvent",
+    "FaultPlan",
+    "KillRank",
+    "MessageFault",
+    "corrupt_payload",
     "MachineModel",
     "QDR_CLUSTER",
     "ZERO_COST",

@@ -57,6 +57,14 @@ Semantics notes
   communication generators created without ``yield from`` are reported
   when their rank returns, and undelivered messages at exit become an
   error instead of a :class:`~repro.errors.CommWarning`.
+* ``run_spmd(..., faults=FaultPlan(...))`` injects deterministic faults
+  (:mod:`repro.parallel.faults`): ranks die at scheduled op indices and
+  point-to-point messages are dropped, duplicated, delayed or
+  corrupted.  Surviving ranks that depend on a dead rank raise
+  :class:`~repro.errors.RankFailure`; ``max_steps`` /
+  ``max_sim_seconds`` convert runaway programs into a typed
+  :class:`~repro.errors.BudgetExceededError`.  With ``faults=None``
+  (default) none of this machinery is on the hot path.
 """
 
 from __future__ import annotations
@@ -71,8 +79,15 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.sanitizer import Sanitizer, payload_checksum
-from ..errors import CommError, CommWarning, DeadlockError
+from ..errors import (
+    BudgetExceededError,
+    CommError,
+    CommWarning,
+    DeadlockError,
+    RankFailure,
+)
 from ..rng import SeedLike, spawn_streams
+from .faults import FaultEvent, FaultPlan, corrupt_payload
 from .machine import MachineModel, QDR_CLUSTER
 from .trace import CommStats, DEFAULT_PHASE, PhaseBreakdown, SpmdResult
 
@@ -440,7 +455,7 @@ del _name
 # engine
 # ----------------------------------------------------------------------
 
-_READY, _PARKED, _DONE = 0, 1, 2
+_READY, _PARKED, _DONE, _DEAD = 0, 1, 2, 3
 
 
 class _RankState:
@@ -457,7 +472,10 @@ class _RankState:
 
 class _Engine:
     def __init__(self, nranks: int, machine: MachineModel, seed: SeedLike,
-                 copy_mode: str = "readonly", sanitize: bool = False) -> None:
+                 copy_mode: str = "readonly", sanitize: bool = False,
+                 faults: Optional[FaultPlan] = None,
+                 max_steps: Optional[int] = None,
+                 max_sim_seconds: Optional[float] = None) -> None:
         if copy_mode not in _COPY_MODES:
             raise CommError(
                 f"unknown copy_mode {copy_mode!r}; expected one of {_COPY_MODES}"
@@ -465,6 +483,15 @@ class _Engine:
         self.machine = machine
         self.copy_mode = copy_mode
         self.sanitizer: Optional[Sanitizer] = Sanitizer(nranks) if sanitize else None
+        # fault injection + budgets: all None on the no-fault fast path,
+        # so the hot loop pays only `is not None` checks
+        self.faults = faults
+        self.max_steps = max_steps
+        self.max_sim_seconds = max_sim_seconds
+        self.steps = 0
+        self.op_counts = [0] * nranks if faults is not None else None
+        self.fault_events: List[FaultEvent] = []
+        self.dead: Dict[int, FaultEvent] = {}
         self.nranks = nranks
         self.clocks = np.zeros(nranks)
         self.comp_time = np.zeros(nranks)
@@ -552,6 +579,9 @@ def run_spmd(
     seed: SeedLike = None,
     copy_mode: str = "readonly",
     sanitize: Optional[bool] = None,
+    faults: Optional[FaultPlan] = None,
+    max_steps: Optional[int] = None,
+    max_sim_seconds: Optional[float] = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute rank program ``fn`` on ``nranks`` virtual ranks.
@@ -574,13 +604,25 @@ def run_spmd(
     ``REPRO_SANITIZE`` environment variable, so a test shard can turn
     it on without touching call sites.  A correct rank program returns
     identical results with and without it.
+
+    ``faults`` is a deterministic :class:`~repro.parallel.faults.
+    FaultPlan` the scheduler consults to kill ranks and drop / duplicate
+    / delay / corrupt point-to-point messages; injected faults are
+    recorded on ``SpmdResult.faults`` and surviving ranks that depend on
+    a dead rank raise :class:`~repro.errors.RankFailure`.  ``max_steps``
+    / ``max_sim_seconds`` bound the run (communication ops posted /
+    simulated clock) and convert runaway programs into a typed
+    :class:`~repro.errors.BudgetExceededError` instead of a hang.  With
+    all three left ``None`` (the default) the engine takes the existing
+    fast path unchanged.
     """
     if nranks < 1:
         raise CommError(f"nranks must be >= 1, got {nranks}")
     if sanitize is None:
         sanitize = _env_sanitize()
     eng = _Engine(nranks, machine, seed, copy_mode=copy_mode,
-                  sanitize=sanitize)
+                  sanitize=sanitize, faults=faults, max_steps=max_steps,
+                  max_sim_seconds=max_sim_seconds)
     world = eng.new_group(range(nranks))
     states: List[_RankState] = []
     for r in range(nranks):
@@ -602,13 +644,32 @@ def run_spmd(
         # 2. match parked requests
         progress = _complete_recvs(eng, states, ready)
         progress |= _complete_collectives(eng, states, ready)
+        if eng.max_sim_seconds is not None \
+                and float(eng.clocks.max()) > eng.max_sim_seconds:
+            raise BudgetExceededError(
+                f"simulated clock {float(eng.clocks.max()):.6g}s exceeded "
+                f"the max_sim_seconds budget of {eng.max_sim_seconds:.6g}s",
+                budget="sim_seconds", limit=eng.max_sim_seconds,
+                used=float(eng.clocks.max()),
+            )
         if ready:
             continue
-        if all(st.status == _DONE for st in states):
+        if all(st.status in (_DONE, _DEAD) for st in states):
             break
         if not progress:
-            _raise_deadlock(states)
+            _raise_deadlock(eng, states)
 
+    if eng.dead:
+        # killed ranks never produced results: the job is incomplete
+        # even if every survivor returned cleanly
+        rank, ev = next(iter(sorted(eng.dead.items())))
+        raise RankFailure(
+            f"rank {rank} was killed in phase {ev.phase!r} at "
+            f"t={ev.time:.6g}s (op {ev.op_index}) and never returned; "
+            f"{len(eng.dead)} rank(s) dead at exit",
+            dead_rank=rank, phase=ev.phase,
+            sim_time=float(eng.clocks.max()),
+        )
     _check_undelivered(eng)
     _check_ledgers(eng)
     phases = {
@@ -625,6 +686,7 @@ def run_spmd(
         collectives=eng.collectives,
         words_sent=eng.words_sent,
         comm_stats=CommStats.aggregate(eng.stats, nranks),
+        faults=list(eng.fault_events),
     )
 
 
@@ -653,12 +715,14 @@ def _check_undelivered(eng: _Engine) -> None:
 
     A leftover mailbox entry means some rank sent a message nobody
     received — usually a tag/peer mismatch.  Warns by default
-    (:class:`~repro.errors.CommWarning`); the sanitizer escalates to
-    :class:`~repro.errors.CommError`.
+    (:class:`~repro.errors.CommWarning`) with the full pending-message
+    list (source→dest, tag, words); the sanitizer escalates the same
+    condition to :class:`~repro.errors.CommError`.
     """
     leftovers = [
-        f"{len(q)} message(s) from rank {src} to rank {dst} "
-        f"(tag={tag}, comm={cid})"
+        f"{len(q)} message(s) rank {src} -> rank {dst} "
+        f"(tag={tag}, comm={cid}, "
+        f"{sum(entry[1] for entry in q):.0f} words)"
         for (src, dst, tag, cid), q in sorted(eng.mailbox.items())
         if q
     ]
@@ -699,6 +763,25 @@ def _sanitize_collective(eng: _Engine, kind: str, parked: List[_RankState]) -> N
         eng.sanitizer.record_collective(s.grank, s.op.cid, kind, root)
 
 
+def _kill_rank(eng: _Engine, st: _RankState, op_index: int) -> None:
+    """Inject a rank death: close the generator, record the event."""
+    ev = FaultEvent(
+        kind="kill", time=float(eng.clocks[st.grank]), rank=st.grank,
+        op_index=op_index, phase=eng.phase[st.grank],
+        detail=f"rank {st.grank} killed posting op {op_index}",
+    )
+    eng.fault_events.append(ev)
+    eng.dead[st.grank] = ev
+    try:
+        st.gen.close()
+    except Exception:
+        # a finally-block that yields raises on close; the rank is dead
+        # either way
+        pass
+    st.op = None
+    st.status = _DEAD
+
+
 def _step(eng: _Engine, states: List[_RankState], st: _RankState) -> None:
     """Run one rank until it parks on a blocking op or finishes."""
     value = st.send_value
@@ -716,6 +799,20 @@ def _step(eng: _Engine, states: List[_RankState], st: _RankState) -> None:
                 f"rank {st.grank} yielded {op!r}; rank programs must only "
                 "yield via 'yield from comm.<op>(...)'"
             )
+        if eng.max_steps is not None:
+            eng.steps += 1
+            if eng.steps > eng.max_steps:
+                raise BudgetExceededError(
+                    f"SPMD program posted more than max_steps="
+                    f"{eng.max_steps} communication operations",
+                    budget="steps", limit=eng.max_steps, used=eng.steps,
+                )
+        if eng.faults is not None:
+            op_index = eng.op_counts[st.grank]
+            eng.op_counts[st.grank] = op_index + 1
+            if eng.faults.kill_now(st.grank, op_index, len(eng.dead)):
+                _kill_rank(eng, st, op_index)
+                return
         if op.kind == "send":
             _do_send(eng, st.grank, op)
             value = None
@@ -744,15 +841,60 @@ def _do_send(eng: _Engine, grank: int, op: _Op) -> None:
     cksum = None
     if eng.sanitizer is not None and op.value is not None:
         cksum = payload_checksum(op.value)
+    fault = None
+    if eng.faults is not None:
+        # eng.messages is the global send ordinal (deterministic rank
+        # scheduling order), the site a plan's message faults key on
+        fault = eng.faults.message_fault(eng.messages)
     key = (grank, gdst, op.tag, op.cid)
-    eng.mailbox.setdefault(key, deque()).append(
-        (arrival, words, eng.deliver(op.value, op.copy), cksum)
-    )
+    if fault is None:
+        eng.mailbox.setdefault(key, deque()).append(
+            (arrival, words, eng.deliver(op.value, op.copy), cksum)
+        )
+    else:
+        _fault_send(eng, grank, gdst, op, key, fault, arrival, words, cksum)
     eng.messages += 1
     eng.words_sent += words
     stats = eng.stats_for(grank)
     stats.sends[grank] += 1
     stats.words_sent[grank] += words
+
+
+def _fault_send(eng: _Engine, grank: int, gdst: int, op: _Op, key,
+                fault: Tuple[str, float], arrival: float, words: float,
+                cksum: Optional[int]) -> None:
+    """Apply one message fault to a posted send (slow path)."""
+    kind, delay = fault
+    msg_index = eng.messages
+    detail = ""
+    if kind == "drop":
+        pass  # the message is simply never enqueued
+    elif kind == "duplicate":
+        payload = eng.deliver(op.value, op.copy)
+        q = eng.mailbox.setdefault(key, deque())
+        q.append((arrival, words, payload, cksum))
+        q.append((arrival, words, eng.deliver(op.value, op.copy), cksum))
+    elif kind == "delay":
+        arrival += delay
+        detail = f"delayed by {delay:.6g}s"
+        eng.mailbox.setdefault(key, deque()).append(
+            (arrival, words, eng.deliver(op.value, op.copy), cksum)
+        )
+    elif kind == "corrupt":
+        payload, detail = corrupt_payload(eng.deliver(op.value, op.copy),
+                                          msg_index)
+        # cksum (taken at post time) is deliberately kept: under
+        # sanitize the mismatch is caught at delivery
+        eng.mailbox.setdefault(key, deque()).append(
+            (arrival, words, payload, cksum)
+        )
+    else:  # pragma: no cover - guarded by MessageFault.__post_init__
+        raise CommError(f"unhandled message-fault kind {kind!r}")
+    eng.fault_events.append(FaultEvent(
+        kind=kind, time=float(eng.clocks[grank]), rank=grank, dest=gdst,
+        tag=op.tag, msg_index=msg_index, phase=eng.phase[grank],
+        detail=detail,
+    ))
 
 
 def _complete_recvs(eng: _Engine, states: List[_RankState], ready: deque) -> bool:
@@ -769,6 +911,18 @@ def _complete_recvs(eng: _Engine, states: List[_RankState], ready: deque) -> boo
         key = (gsrc, st.grank, st.op.tag, st.op.cid)
         q = eng.mailbox.get(key)
         if not q:
+            if states[gsrc].status == _DEAD:
+                # nothing queued and the source can never post again
+                ev = eng.dead[gsrc]
+                raise RankFailure(
+                    f"rank {st.grank} blocked on recv(source={st.op.source}, "
+                    f"tag={st.op.tag}, comm={st.op.cid}) from rank {gsrc}, "
+                    f"which was killed in phase {ev.phase!r} at "
+                    f"t={ev.time:.6g}s",
+                    dead_rank=gsrc, phase=ev.phase,
+                    sim_time=float(eng.clocks[st.grank]),
+                    detected_by=st.grank,
+                )
             continue
         arrival, words, payload, cksum = q.popleft()
         if cksum is not None and payload_checksum(payload) != cksum:
@@ -806,6 +960,23 @@ def _complete_collectives(eng: _Engine, states: List[_RankState], ready: deque) 
     for cid, parked in by_cid.items():
         group = eng.groups[cid]
         if len(parked) != group.size:
+            if eng.dead:
+                dead_members = [g for g in group.members
+                                if states[g].status == _DEAD]
+                if dead_members:
+                    # the collective can never complete: a member is dead
+                    g = dead_members[0]
+                    ev = eng.dead[g]
+                    waiter = parked[0]
+                    raise RankFailure(
+                        f"collective '{waiter.op.kind}' on comm {cid} can "
+                        f"never complete: rank {g} was killed in phase "
+                        f"{ev.phase!r} at t={ev.time:.6g}s "
+                        f"({len(parked)}/{group.size} ranks arrived)",
+                        dead_rank=g, phase=ev.phase,
+                        sim_time=float(eng.clocks[waiter.grank]),
+                        detected_by=waiter.grank,
+                    )
             # a member is missing: either still running (fine) or done (deadlock later)
             continue
         parked.sort(key=lambda s: group.members.index(s.grank))
@@ -982,19 +1153,47 @@ def _run_collective(eng: _Engine, group: _Group, kind: str, parked: List[_RankSt
         st.send_value = results[group.local(st.grank)]
 
 
-def _raise_deadlock(states: List[_RankState]) -> None:
+def _raise_deadlock(eng: _Engine, states: List[_RankState]) -> None:
+    """No rank can progress: name every parked op with its context.
+
+    Each blocked rank contributes one entry (kind, peer, tag, comm,
+    phase) to both the message and the exception's ``parked`` list, so
+    the deadlock is diagnosable without re-running under trace.
+    """
     lines = []
+    parked = []
     for st in states:
-        if st.status == _DONE:
+        if st.status in (_DONE, _DEAD):
             continue
         op = st.op
+        phase = eng.phase[st.grank]
         if op is None:
             desc = "running"
+            entry = {"rank": st.grank, "kind": "running", "peer": None,
+                     "tag": None, "comm": None, "phase": phase}
         elif op.kind == "recv":
             desc = f"recv(comm={op.cid}, source={op.source}, tag={op.tag})"
+            entry = {"rank": st.grank, "kind": "recv", "peer": op.source,
+                     "tag": op.tag, "comm": op.cid, "phase": phase}
         else:
             desc = f"{op.kind}(comm={op.cid})"
-        lines.append(f"  rank {st.grank}: waiting on {desc}")
+            entry = {"rank": st.grank, "kind": op.kind, "peer": None,
+                     "tag": None, "comm": op.cid, "phase": phase}
+        parked.append(entry)
+        lines.append(f"  rank {st.grank}: waiting on {desc} "
+                     f"[phase {phase!r}]")
+    if eng.dead:
+        for rank, ev in sorted(eng.dead.items()):
+            lines.append(f"  rank {rank}: DEAD (killed in phase "
+                         f"{ev.phase!r} at t={ev.time:.6g}s)")
+        rank, ev = next(iter(sorted(eng.dead.items())))
+        raise RankFailure(
+            "SPMD stalled after a rank failure: no surviving rank can "
+            "make progress.\n" + "\n".join(lines),
+            dead_rank=rank, phase=ev.phase,
+            sim_time=float(eng.clocks.max()),
+        )
     raise DeadlockError(
-        "SPMD deadlock: no rank can make progress.\n" + "\n".join(lines)
+        "SPMD deadlock: no rank can make progress.\n" + "\n".join(lines),
+        parked=parked,
     )

@@ -304,6 +304,9 @@ class SpmdResult:
         total 8-byte words moved by point-to-point messages.
     comm_stats:
         full per-rank, per-phase communication ledger (:class:`CommStats`).
+    faults:
+        injected :class:`~repro.parallel.faults.FaultEvent` records, in
+        injection order (empty when the run had no fault plan).
     """
 
     values: List[Any]
@@ -315,6 +318,7 @@ class SpmdResult:
     collectives: int = 0
     words_sent: float = 0.0
     comm_stats: Optional[CommStats] = None
+    faults: List[Any] = field(default_factory=list)
 
     @property
     def nranks(self) -> int:
@@ -376,7 +380,8 @@ def trace_records(result: SpmdResult) -> Iterator[Dict[str, Any]]:
     """Serialise a run as a stream of JSON-able records.
 
     The stream starts with one ``run`` record (per-rank clock accounts
-    and run-level communication totals), followed by one ``phase``
+    and run-level communication totals), followed by one ``fault``
+    record per injected fault (in injection order), then one ``phase``
     record per phase label in sorted order, each combining the phase's
     time breakdown with its communication counters.
     """
@@ -392,9 +397,13 @@ def trace_records(result: SpmdResult) -> Iterator[Dict[str, Any]]:
         "collectives": result.collectives,
         "words_sent": result.words_sent,
     }
+    if result.faults:
+        run["faults_injected"] = len(result.faults)
     if stats is not None:
         run["comm"] = stats.to_dict()
     yield run
+    for ev in result.faults:
+        yield {"record": "fault", **ev.to_dict()}
     for name in sorted(result.phases):
         ph = result.phases[name]
         rec: Dict[str, Any] = {

@@ -1,4 +1,4 @@
-"""Per-rule fixture tests for the SPMD static lint (SP101-SP105).
+"""Per-rule fixture tests for the SPMD static lint (SP101-SP106).
 
 Each rule gets a bad fixture it must fire on and a good fixture it
 must stay silent on, plus suppression, selection, JSON, and CLI
@@ -234,6 +234,89 @@ class TestSP105SetOrderPayload:
         """) == []
 
 
+class TestSP106SwallowedFault:
+    def test_fires_on_silent_pass(self):
+        fs = lint("""
+            from repro.errors import CommError
+            def run():
+                try:
+                    risky()
+                except CommError:
+                    pass
+        """)
+        assert [f.code for f in fs] == ["SP106"]
+        assert "CommError" in fs[0].message
+
+    def test_fires_inside_tuple_clause(self):
+        assert codes("""
+            from repro.errors import ReproError
+            def run():
+                try:
+                    risky()
+                except (ValueError, ReproError):
+                    fallback()
+        """) == ["SP106"]
+
+    def test_fires_when_bound_but_unused(self):
+        assert codes("""
+            from repro import errors
+            def run():
+                try:
+                    risky()
+                except errors.RankFailure as exc:
+                    cleanup()
+        """) == ["SP106"]
+
+    def test_silent_on_reraise(self):
+        assert codes("""
+            from repro.errors import CommError
+            def run():
+                try:
+                    risky()
+                except CommError:
+                    raise
+        """) == []
+
+    def test_silent_on_conversion(self):
+        assert codes("""
+            from repro.errors import DeadlockError
+            def run():
+                try:
+                    risky()
+                except DeadlockError as exc:
+                    raise RuntimeError("converted") from exc
+        """) == []
+
+    def test_silent_when_exception_is_used(self):
+        assert codes("""
+            from repro.errors import ReproError
+            def run():
+                try:
+                    risky()
+                except ReproError as exc:
+                    report.append(str(exc))
+        """) == []
+
+    def test_silent_on_unrelated_exception(self):
+        assert codes("""
+            def run():
+                try:
+                    risky()
+                except ValueError:
+                    pass
+        """) == []
+
+    def test_suppression_comment(self):
+        assert codes("""
+            from repro.errors import CommError
+            def run():
+                try:
+                    risky()
+                except CommError:  # repro: lint-ok[SP106]
+                    pass
+        """) == []
+
+
 class TestSuppressions:
     def test_trailing_comment_suppresses(self):
         assert codes("""
@@ -268,7 +351,7 @@ class TestSuppressions:
 class TestApi:
     def test_every_rule_has_a_hint(self):
         assert set(RULES) == {
-            "SP000", "SP101", "SP102", "SP103", "SP104", "SP105",
+            "SP000", "SP101", "SP102", "SP103", "SP104", "SP105", "SP106",
         }
         for rule in RULES.values():
             assert rule.hint

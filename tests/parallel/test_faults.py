@@ -1,0 +1,346 @@
+"""Fault injection, detection, and recovery (chaos tests).
+
+Property under test: a run under any seeded :class:`FaultPlan` either
+returns a valid, balanced partition or raises a *typed*
+:class:`~repro.errors.ReproError` — never a silent wrong answer — and
+everything (fault events, recovery path, final cut) is deterministic
+per ``(seed, plan)``.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.config import ScalaPartConfig
+from repro.core.parallel import RetryPolicy, run_parallel
+from repro.errors import (
+    BudgetExceededError,
+    CommError,
+    CommWarning,
+    DeadlockError,
+    PartitionError,
+    RankFailure,
+    ReproError,
+)
+from repro.graph import generators as gen
+from repro.parallel import (
+    FaultPlan,
+    KillRank,
+    MessageFault,
+    ZERO_COST,
+    corrupt_payload,
+    run_spmd,
+    trace_records,
+)
+
+FAST = ScalaPartConfig(coarsest_iters=80, smooth_iters=6)
+
+
+def run0(fn, p, *args, **kw):
+    return run_spmd(fn, p, *args, machine=ZERO_COST, **kw)
+
+
+def ring(comm):
+    """Each rank sends to its successor, then allreduces the sum."""
+    dst = (comm.rank + 1) % comm.size
+    src = (comm.rank - 1) % comm.size
+    yield from comm.send(np.full(4, comm.rank, dtype=np.int64), dest=dst, tag=7)
+    got = yield from comm.recv(source=src, tag=7)
+    total = yield from comm.allreduce(int(got[0]), op="sum")
+    return total
+
+
+# ----------------------------------------------------------------------
+# the plan itself
+# ----------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_decisions_are_deterministic(self):
+        plan = FaultPlan(seed=42, kill_rate=0.1, drop_rate=0.1)
+        kills = [plan.kill_now(r, i, 0) for r in range(4) for i in range(50)]
+        msgs = [plan.message_fault(i) for i in range(200)]
+        again = FaultPlan(seed=42, kill_rate=0.1, drop_rate=0.1)
+        assert kills == [again.kill_now(r, i, 0)
+                         for r in range(4) for i in range(50)]
+        assert msgs == [again.message_fault(i) for i in range(200)]
+
+    def test_attempt_epoch_redraws_random_faults(self):
+        plan = FaultPlan(seed=42, drop_rate=0.2)
+        first = [plan.message_fault(i) for i in range(100)]
+        second = [plan.for_attempt(1).message_fault(i) for i in range(100)]
+        assert first != second
+
+    def test_scheduled_faults_are_transient_by_default(self):
+        plan = FaultPlan(seed=0, kills=(KillRank(rank=1, at_op=3),))
+        assert plan.kill_now(1, 3, 0)
+        assert not plan.for_attempt(1).kill_now(1, 3, 0)
+        hard = FaultPlan(seed=0, kills=(KillRank(rank=1, at_op=3,
+                                                 attempts=None),))
+        assert hard.for_attempt(5).kill_now(1, 3, 0)
+
+    def test_max_kills_caps_random_kills(self):
+        plan = FaultPlan(seed=1, kill_rate=1.0, max_kills=1)
+        assert plan.kill_now(0, 0, killed_so_far=0)
+        assert not plan.kill_now(0, 0, killed_so_far=1)
+
+    def test_bad_rate_and_kind_raise(self):
+        with pytest.raises(CommError):
+            FaultPlan(seed=0, drop_rate=1.5)
+        with pytest.raises(CommError):
+            MessageFault("teleport", 0)
+
+    def test_describe_mentions_active_knobs(self):
+        text = FaultPlan(seed=9, drop_rate=0.25,
+                         kills=(KillRank(0),)).describe()
+        assert "drop_rate=0.25" in text and "kills=1" in text
+        assert not FaultPlan(seed=9).is_active
+
+
+class TestCorruptPayload:
+    def test_int_array_bit_flip(self):
+        arr = np.arange(8)
+        out, desc = corrupt_payload(arr, 3)
+        assert desc and (out != arr).sum() == 1
+        assert np.array_equal(arr, np.arange(8))  # original untouched
+
+    def test_readonly_flag_preserved(self):
+        arr = np.arange(4.0)
+        arr.flags.writeable = False
+        out, desc = corrupt_payload(arr, 1)
+        assert desc and not out.flags.writeable
+
+    def test_scalars_and_containers(self):
+        assert corrupt_payload(True, 0)[0] is False
+        assert corrupt_payload(7, 0)[0] == 6
+        assert corrupt_payload(1.5, 0)[0] == 2.5
+        out, desc = corrupt_payload({"n": 4, "s": "x"}, 0)
+        assert out["n"] == 5 and "key 'n'" in desc
+
+    def test_uncorruptible_returns_empty_desc(self):
+        assert corrupt_payload("just a string", 0) == ("just a string", "")
+        assert corrupt_payload(np.array([], dtype=np.int64), 0)[1] == ""
+
+
+# ----------------------------------------------------------------------
+# injection + detection in the engine
+# ----------------------------------------------------------------------
+
+class TestEngineInjection:
+    def test_inert_plan_matches_clean_run(self):
+        clean = run0(ring, 4, seed=3)
+        faulted = run0(ring, 4, seed=3, faults=FaultPlan(seed=1))
+        assert faulted.values == clean.values
+        assert faulted.faults == []
+
+    def test_kill_raises_rank_failure(self):
+        plan = FaultPlan(seed=0, kills=(KillRank(rank=1, at_op=1),))
+        with pytest.raises(RankFailure) as ei:
+            run0(ring, 4, faults=plan)
+        assert ei.value.dead_rank == 1
+        assert ei.value.sim_time >= 0.0
+
+    def test_drop_becomes_deadlock_with_context(self):
+        plan = FaultPlan(seed=0, messages=(MessageFault("drop", 0),))
+        with pytest.raises(DeadlockError) as ei:
+            run0(ring, 3, faults=plan)
+        parked = ei.value.parked
+        assert parked and all(
+            set(p) >= {"rank", "kind", "peer", "tag", "phase"}
+            for p in parked
+        )
+        assert any(p["kind"] == "recv" and p["tag"] == 7 for p in parked)
+
+    def test_duplicate_delivers_twice(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send(5, dest=1, tag=2)
+                return 0
+            a = yield from comm.recv(source=0, tag=2)
+            b = yield from comm.recv(source=0, tag=2)
+            return (a, b)
+
+        plan = FaultPlan(seed=0, messages=(MessageFault("duplicate", 0),))
+        res = run0(prog, 2, faults=plan)
+        assert res.values[1] == (5, 5)
+
+    def test_delay_completes_and_is_recorded(self):
+        plan = FaultPlan(seed=0,
+                         messages=(MessageFault("delay", 0, delay=1e-3),))
+        res = run0(ring, 4, seed=3, faults=plan)
+        assert res.values == run0(ring, 4, seed=3).values
+        kinds = [ev.kind for ev in res.faults]
+        assert kinds == ["delay"]
+        recs = [r for r in trace_records(res) if r["record"] == "fault"]
+        assert recs and recs[0]["kind"] == "delay"
+
+    def test_corrupt_without_sanitizer_changes_payload(self):
+        plan = FaultPlan(seed=0, messages=(MessageFault("corrupt", 0),))
+        clean = run0(ring, 3, faults=None, sanitize=False)
+        res = run0(ring, 3, faults=plan, sanitize=False)
+        assert res.values != clean.values  # silent corruption flowed through
+
+    def test_corrupt_with_sanitizer_raises(self):
+        plan = FaultPlan(seed=0, messages=(MessageFault("corrupt", 0),))
+        with pytest.raises(CommError, match="checksum|sanitizer|corrupt"):
+            run0(ring, 3, faults=plan, sanitize=True)
+
+    def test_random_rates_fire_deterministically(self):
+        plan = FaultPlan(seed=11, drop_rate=0.5)
+
+        def outcome():
+            try:
+                res = run0(ring, 4, seed=3, faults=plan)
+                return ("ok", res.values,
+                        [ev.to_dict() for ev in res.faults])
+            except ReproError as exc:
+                return ("err", type(exc).__name__, str(exc))
+
+        assert outcome() == outcome()
+
+    def test_undelivered_warning_lists_pending_messages(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.zeros(4), dest=1, tag=9)
+            yield from comm.barrier()
+            return None
+
+        with pytest.warns(CommWarning, match=r"rank 0 -> rank 1.*tag=9"):
+            run0(prog, 2)
+
+
+class TestBudgets:
+    def test_max_steps(self):
+        with pytest.raises(BudgetExceededError) as ei:
+            run0(ring, 4, max_steps=3)
+        assert ei.value.budget == "steps" and ei.value.limit == 3
+
+    def test_max_sim_seconds(self):
+        def chatty(comm):
+            for _ in range(100):
+                yield from comm.barrier()
+            return None
+
+        with pytest.raises(BudgetExceededError) as ei:
+            run_spmd(chatty, 4, max_sim_seconds=1e-6)
+        assert ei.value.budget == "sim_seconds"
+
+    def test_generous_budgets_do_not_trigger(self):
+        res = run0(ring, 4, seed=3, max_steps=10_000, max_sim_seconds=10.0)
+        assert res.values == run0(ring, 4, seed=3).values
+
+
+# ----------------------------------------------------------------------
+# recovery ladder
+# ----------------------------------------------------------------------
+
+class TestRecoveryLadder:
+    def test_transient_kill_recovers_on_retry(self, small_delaunay):
+        g, _ = small_delaunay
+        plan = FaultPlan(seed=3, kills=(KillRank(rank=1, at_op=10),))
+        with pytest.raises(RankFailure):
+            run_parallel("ScalaPart", g, 4, config=FAST, seed=7, faults=plan)
+        out = run_parallel("ScalaPart", g, 4, config=FAST, seed=7,
+                           faults=plan, retry=RetryPolicy())
+        rec = out.extras["recovery"]
+        assert rec["recovered"] and rec["final_nranks"] == 4
+        assert [a["step"] for a in rec["attempts"]] == ["primary", "retry"]
+        out.bisection.validate(0.15)
+
+    def test_hard_kill_shrinks_rank_count(self, small_delaunay):
+        g, _ = small_delaunay
+        plan = FaultPlan(seed=3, kills=(KillRank(rank=3, at_op=5,
+                                                 attempts=None),))
+        out = run_parallel("ScalaPart", g, 4, config=FAST, seed=7,
+                           faults=plan, retry=RetryPolicy())
+        rec = out.extras["recovery"]
+        # rank 3 no longer exists on 2 ranks, so the shrunk run is clean
+        assert rec["final_nranks"] == 2
+        assert rec["attempts"][-1]["step"] == "shrink"
+        out.bisection.validate(0.15)
+
+    def test_kill_rank0_falls_back_to_sequential(self, small_delaunay):
+        g, _ = small_delaunay
+        plan = FaultPlan(seed=3, kills=(KillRank(rank=0, at_op=5,
+                                                 attempts=None),))
+        out = run_parallel("ScalaPart", g, 4, config=FAST, seed=7,
+                           faults=plan, retry=RetryPolicy())
+        rec = out.extras["recovery"]
+        assert rec["attempts"][-1]["mode"] == "sequential"
+        assert rec["final_method"] == "ScalaPart"
+        out.bisection.validate(0.15)
+
+    def test_rcb_falls_back_down_registry_ladder(self, small_delaunay):
+        g, coords = small_delaunay
+        plan = FaultPlan(seed=5, kills=(KillRank(rank=0, at_op=2,
+                                                 attempts=None),))
+        out = run_parallel("RCB", g, 4, coords=coords, seed=9, faults=plan,
+                           retry=RetryPolicy(retries=0))
+        methods = [a["method"] for a in out.extras["recovery"]["attempts"]]
+        assert methods[0] == "RCB" and "ScalaPart" in methods
+        out.bisection.validate(0.15)
+
+    def test_exhaustion_raises_typed_error(self, small_delaunay):
+        g, _ = small_delaunay
+        plan = FaultPlan(seed=3, kills=(KillRank(rank=0, at_op=5,
+                                                 attempts=None),))
+        with pytest.raises(PartitionError, match="recovery exhausted"):
+            run_parallel("ScalaPart", g, 4, config=FAST, seed=7, faults=plan,
+                         retry=RetryPolicy(retries=0, shrink=False,
+                                           fallback=False))
+
+    def test_recovery_is_deterministic(self, small_delaunay):
+        g, _ = small_delaunay
+        plan = FaultPlan(seed=3, kills=(KillRank(rank=1, at_op=10),),
+                         kill_rate=1e-3)
+
+        def once():
+            out = run_parallel("ScalaPart", g, 4, config=FAST, seed=7,
+                               faults=plan, retry=RetryPolicy())
+            rec = out.extras["recovery"]
+            return (int(out.bisection.cut_size),
+                    [(a["step"], a["status"], a["nranks"])
+                     for a in rec["attempts"]])
+
+        assert once() == once()
+
+    def test_no_retry_keeps_plain_behaviour(self, small_delaunay):
+        g, _ = small_delaunay
+        plain = run_parallel("ScalaPart", g, 4, config=FAST, seed=7)
+        again = run_parallel("ScalaPart", g, 4, config=FAST, seed=7,
+                             faults=FaultPlan(seed=1))
+        assert plain.bisection.cut_size == again.bisection.cut_size
+        assert "recovery" not in again.extras
+
+
+# ----------------------------------------------------------------------
+# the chaos property: valid cut or typed error, never silent garbage
+# ----------------------------------------------------------------------
+
+class TestChaosProperty:
+    @pytest.mark.parametrize("method", ["ScalaPart", "ParMetis-like"])
+    @pytest.mark.parametrize("plan_seed", [1, 2, 3])
+    def test_valid_partition_or_typed_error(self, small_delaunay, method,
+                                            plan_seed):
+        g, _ = small_delaunay
+        plan = FaultPlan(seed=plan_seed,
+                         kills=(KillRank(rank=plan_seed % 4, at_op=6),),
+                         kill_rate=1e-3)
+        kwargs = {"config": FAST} if method == "ScalaPart" else {}
+
+        def once():
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", CommWarning)
+                try:
+                    out = run_parallel(method, g, 4, seed=5, faults=plan,
+                                       retry=RetryPolicy(), **kwargs)
+                except ReproError as exc:
+                    return ("error", type(exc).__name__, str(exc))
+            side = out.bisection.side
+            assert set(np.unique(side)) <= {0, 1}
+            out.bisection.validate(0.15)
+            return ("ok", int(out.bisection.cut_size),
+                    out.extras["recovery"]["final_method"])
+
+        first = once()
+        assert first == once()  # same seed + plan => same outcome
