@@ -50,7 +50,7 @@ from repro.embed.box import Box  # noqa: E402
 from repro.embed.fdl import force_directed_layout, random_positions  # noqa: E402
 from repro.embed.lattice import repulsive_forces_lattice  # noqa: E402
 from repro.graph.generators import grid2d  # noqa: E402
-from repro.parallel import ZERO_COST, run_spmd  # noqa: E402
+from repro.parallel import ZERO_COST, procs_available, run_spmd  # noqa: E402
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_kernels.json"
 SCHEMA = 1
@@ -64,6 +64,7 @@ TIMED_KERNELS = (
     "engine/delivery-defensive",
     "engine/delivery-readonly",
     "engine/reduce-array",
+    "engine/procs-roundtrip",
     "embed/smooth-iter",
 )
 
@@ -158,6 +159,18 @@ def run_benchmarks(quick: bool = False, repeats: int = 5) -> dict:
     rprog = _reduce_program(n_payload // 8, rounds)
     record("engine/reduce-array",
            lambda: run_spmd(rprog, 8, machine=ZERO_COST))
+    if procs_available():
+        # Same ring program on real worker processes: times fork + shm
+        # delivery + teardown.  Deliberately small payload — each call
+        # spawns two OS processes.
+        pprog = _delivery_program(min(n_payload, 64_000), rounds)
+        record(
+            "engine/procs-roundtrip",
+            lambda: run_spmd(pprog, 2, machine=ZERO_COST, backend="procs"),
+        )
+    else:
+        print("  engine/procs-roundtrip       (procs backend unavailable, "
+              "skipped)")
 
     # ---- one embed smoothing iteration --------------------------------
     pos0 = random_positions(g.num_vertices, seed=3)

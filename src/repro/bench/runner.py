@@ -42,6 +42,9 @@ class RunRecord:
     simulated: bool
     stage_seconds: Dict[str, float]
     phase_comm: Dict[str, float]
+    #: executor that produced the cell ("sim" for the simulator or any
+    #: sequential run; "procs" for real worker processes)
+    backend: str = "sim"
     #: completed collective operations by kind (empty for sequential runs)
     collective_ops: Dict[str, int] = field(default_factory=dict)
     #: words moved (point-to-point + collective contributions)
@@ -59,16 +62,21 @@ METHODS: Dict[str, bool] = {
 }
 
 
-def _cache_key(method: str, graph: str, p: int) -> str:
+def _cache_key(method: str, graph: str, p: int, backend: str = "sim") -> str:
     # v6: _execute became registry-driven dispatch (MethodSpec-based) —
     # the dispatch path changed but the per-cell results did not; the
     # bump only guards against stale v5 records whose sequential
-    # geometric cells lacked timings/extras.
+    # geometric cells lacked timings/extras.  Non-sim backends get their
+    # own cache cells; sim keys are unchanged so existing caches stay
+    # valid.
     raw = f"{method}|{graph}|{p}|{BENCH_SCALE}|{BENCH_SEED}|v6"
+    if backend != "sim":
+        raw += f"|{backend}"
     return hashlib.sha1(raw.encode()).hexdigest()[:20]
 
 
-def _execute(method: str, graph_name: str, p: int) -> PartitionResult:
+def _execute(method: str, graph_name: str, p: int,
+             backend: str = "sim") -> PartitionResult:
     if method not in METHODS:
         raise ConfigError(
             f"unknown bench method {method!r}; known: {list(METHODS)}"
@@ -81,15 +89,21 @@ def _execute(method: str, graph_name: str, p: int) -> PartitionResult:
         # parallel methods: the engine seed varies with P (Tables 2–3
         # report cut ranges across P)
         return run_parallel(spec, g, p, coords=coords,
-                            seed=BENCH_SEED ^ (p * 7919), machine=MACHINE)
+                            seed=BENCH_SEED ^ (p * 7919), machine=MACHINE,
+                            backend=backend)
+    if backend != "sim":
+        raise ConfigError(
+            f"method {method!r} is sequential-only; backend={backend!r} "
+            "needs a distributed implementation"
+        )
     # sequential quality references (P ignored; Table 2)
     return spec.sequential(g, coords, seed=BENCH_SEED)
 
 
 def run_method(method: str, graph_name: str, p: int = 1,
-               use_cache: bool = True) -> RunRecord:
+               use_cache: bool = True, backend: str = "sim") -> RunRecord:
     """Run (or fetch from cache) one cell of the evaluation grid."""
-    key = _cache_key(method, graph_name, p)
+    key = _cache_key(method, graph_name, p, backend)
     if use_cache and key in _MEMO:
         return _MEMO[key]
     path = _CACHE_DIR / f"{key}.json"
@@ -97,7 +111,7 @@ def run_method(method: str, graph_name: str, p: int = 1,
         rec = RunRecord(**json.loads(path.read_text()))
         _MEMO[key] = rec
         return rec
-    res = _execute(method, graph_name, p)
+    res = _execute(method, graph_name, p, backend)
     stats = res.extras.get("comm_stats")
     rec = RunRecord(
         method=method,
@@ -107,6 +121,7 @@ def run_method(method: str, graph_name: str, p: int = 1,
         imbalance=float(res.imbalance),
         seconds=float(res.seconds),
         simulated=res.simulated,
+        backend=str(res.extras.get("backend", "sim")),
         stage_seconds={k: float(v) for k, v in res.stage_seconds.items()},
         phase_comm={
             k: float(v) for k, v in res.extras.get("phase_comm", {}).items()

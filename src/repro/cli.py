@@ -59,6 +59,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                     "methods (default: compute a Hu layout)")
     p.add_argument("--out", help="write part ids here (default: stdout)")
     p.add_argument("--max-imbalance", type=float, default=0.05)
+    p.add_argument("--backend", default="seq", choices=["seq", "sim", "procs"],
+                   help="executor: seq = sequential entry point (default), "
+                        "sim = SPMD simulator, procs = one worker process "
+                        "per rank on real cores")
+    p.add_argument("--nranks", type=int, default=4,
+                   help="ranks for --backend sim/procs")
 
     e = sub.add_parser("embed", help="compute planar coordinates for a graph")
     e.add_argument("graph")
@@ -79,6 +85,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    choices=cli_choices(traceable_only=True))
     t.add_argument("--nranks", type=int, default=16,
                    help="virtual ranks to simulate")
+    t.add_argument("--backend", default="sim", choices=["sim", "procs"],
+                   help="executor to trace (procs = real worker processes, "
+                        "measured wall-clock accounts)")
     t.add_argument("--seed", type=int, default=0)
     t.add_argument("--coords", help="coordinate file for rcb/sp-pg7-nl "
                                     "(default: compute a Hu layout)")
@@ -159,7 +168,28 @@ def _cmd_partition(args) -> int:
     spec = get_method(args.method)
     coords = _load_coords(args, graph) if spec.needs_coords else None
     t0 = time.perf_counter()
-    if args.k == 2:
+    if args.backend != "seq":
+        if args.k != 2:
+            raise ReproError(
+                f"--backend {args.backend} supports bisection only "
+                f"(got --k {args.k}); the k-way path is sequential"
+            )
+        if spec.distributed is None:
+            raise ReproError(
+                f"method {spec.name!r} has no distributed implementation "
+                f"for --backend {args.backend}"
+            )
+        res = run_parallel(spec, graph, args.nranks, coords=coords,
+                           seed=args.seed, backend=args.backend)
+        parts = res.bisection.side.astype(np.int64)
+        quality = (f"cut={res.bisection.cut_size} "
+                   f"imbalance={res.bisection.imbalance:.4f}")
+        pids = res.extras.get("pids")
+        if pids is not None:
+            print(f"# backend=procs nranks={args.nranks} "
+                  f"pids={','.join(str(p) for p in pids)} "
+                  f"distinct_pids={len(set(pids))}", file=sys.stderr)
+    elif args.k == 2:
         res = spec.sequential(graph, coords, seed=args.seed)
         parts = res.bisection.side.astype(np.int64)
         quality = (f"cut={res.bisection.cut_size} "
@@ -207,8 +237,9 @@ def _cmd_info(args) -> int:
 
 def _print_trace_report(res: SpmdResult, method: str) -> None:
     stats = res.comm_stats
-    print(f"method={method} nranks={res.nranks} "
-          f"simulated_seconds={res.elapsed:.6f} "
+    secs = "simulated_seconds" if res.backend == "sim" else "wall_seconds"
+    print(f"method={method} backend={res.backend} nranks={res.nranks} "
+          f"{secs}={res.elapsed:.6f} "
           f"comm_fraction={res.comm_fraction:.3f}")
     if stats is not None:
         print(f"total: {stats.summary()}")
@@ -234,9 +265,12 @@ def _cmd_trace(args) -> int:
     if args.block_size is not None:
         cfg = ScalaPartConfig(block_size=args.block_size)
     res = run_parallel(spec, graph, args.nranks, coords=coords, config=cfg,
-                       seed=args.seed)
+                       seed=args.seed, backend=args.backend)
     trace: SpmdResult = res.extras["trace"]
     _print_trace_report(trace, res.method)
+    if trace.pids is not None:
+        print(f"# pids={','.join(str(p) for p in trace.pids)} "
+              f"distinct_pids={len(set(trace.pids))}", file=sys.stderr)
     print(f"cut={res.bisection.cut_size} "
           f"imbalance={res.bisection.imbalance:.4f}", file=sys.stderr)
     if args.profile:

@@ -55,6 +55,7 @@ __all__ = [
     "get_method",
     "method_names",
     "cli_choices",
+    "distributed_methods",
     "methods_table",
     "recovery_ladder",
 ]
@@ -166,6 +167,16 @@ def cli_choices(traceable_only: bool = False) -> List[str]:
     """Sorted CLI names (the argparse ``choices`` lists)."""
     return sorted(s.cli_name for s in METHOD_REGISTRY.values()
                   if s.traceable or not traceable_only)
+
+
+def distributed_methods() -> List[MethodSpec]:
+    """Specs with a distributed rank program, registration order.
+
+    The cross-backend differential harness iterates this list: every
+    method here must produce bit-identical partitions on
+    ``backend="sim"`` and ``backend="procs"``.
+    """
+    return [s for s in METHOD_REGISTRY.values() if s.distributed is not None]
 
 
 def recovery_ladder(spec: MethodSpec) -> List[Tuple[str, MethodSpec]]:

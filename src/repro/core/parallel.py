@@ -118,6 +118,8 @@ def _package(
 
     ``max_imbalance`` is the method's declared ``balance_bound`` (wired
     through by :func:`run_parallel`); ``None`` skips validation.
+    ``simulated`` reflects the producing backend: the procs backend's
+    ``seconds`` are measured wall time, not modelled cluster time.
     """
     side, info = res.values[0]
     bis = Bisection(graph, np.asarray(side, dtype=np.int8))
@@ -130,20 +132,24 @@ def _package(
         agg = res.phase(root)
         stage_seconds[root] = agg.elapsed
         phase_comm[root] = agg.comm_fraction
+    extras = {
+        **{k: v for k, v in info.items() if k != "pos"},
+        "nranks": res.nranks,
+        "backend": res.backend,
+        "comm_fraction": res.comm_fraction,
+        "phase_comm": phase_comm,
+        "comm_stats": res.comm_stats,
+        "trace": res,
+    }
+    if res.pids is not None:
+        extras["pids"] = list(res.pids)
     out = PartitionResult(
         bisection=bis,
         method=method,
         seconds=res.elapsed,
-        simulated=True,
+        simulated=(res.backend == "sim"),
         stage_seconds=stage_seconds,
-        extras={
-            **{k: v for k, v in info.items() if k != "pos"},
-            "nranks": res.nranks,
-            "comm_fraction": res.comm_fraction,
-            "phase_comm": phase_comm,
-            "comm_stats": res.comm_stats,
-            "trace": res,
-        },
+        extras=extras,
     )
     if max_imbalance is not None:
         out.validate(max_imbalance)
@@ -165,6 +171,8 @@ def _engine_attempt(
     faults,
     max_steps,
     max_sim_seconds,
+    backend="sim",
+    op_timeout=None,
 ) -> PartitionResult:
     """One engine run of ``spec`` on ``nranks`` ranks, packaged+validated."""
     target = (max_imbalance if max_imbalance is not None
@@ -180,7 +188,8 @@ def _engine_attempt(
                                                                spec.seed_salt)
     res = run_spmd(prog, nranks, machine=machine, seed=engine_seed,
                    copy_mode=copy_mode, sanitize=sanitize, faults=faults,
-                   max_steps=max_steps, max_sim_seconds=max_sim_seconds)
+                   max_steps=max_steps, max_sim_seconds=max_sim_seconds,
+                   backend=backend, op_timeout=op_timeout)
     return _package(graph, res, spec.name, max_imbalance=spec.balance_bound)
 
 
@@ -217,6 +226,8 @@ def _run_recovering(
     retry: RetryPolicy,
     max_steps,
     max_sim_seconds,
+    backend="sim",
+    op_timeout=None,
 ) -> PartitionResult:
     """Descend the recovery ladder until an attempt yields a valid cut."""
     attempts: List[Dict[str, Any]] = []
@@ -259,6 +270,7 @@ def _run_recovering(
                 max_imbalance=max_imbalance, faults=plan,
                 max_steps=_scaled(max_steps, scale),
                 max_sim_seconds=_scaled(max_sim_seconds, scale),
+                backend=backend, op_timeout=op_timeout,
             )
             out.validate(bound_for(aspec))
         except (CommError, PartitionError) as exc:
@@ -348,6 +360,8 @@ def run_parallel(
     retry: Optional[RetryPolicy] = None,
     max_steps: Optional[int] = None,
     max_sim_seconds: Optional[float] = None,
+    backend: str = "sim",
+    op_timeout: Optional[float] = None,
 ) -> PartitionResult:
     """Run a registered method on ``nranks`` virtual ranks.
 
@@ -371,6 +385,12 @@ def run_parallel(
     policy the resulting typed errors propagate to the caller; with one,
     the recovery ladder documented in the module docstring is descended
     and the attempt trail is attached as ``extras["recovery"]``.
+
+    ``backend`` selects the executor (``"sim"`` — the deterministic
+    simulator, or ``"procs"`` — one worker process per rank; see
+    :func:`~repro.parallel.engine.run_spmd`); both run the same rank
+    program and must produce bit-identical partitions.  ``op_timeout``
+    bounds per-operation blocking on the procs backend.
     """
     spec = method if isinstance(method, MethodSpec) else get_method(method)
     if spec.distributed is None:
@@ -387,12 +407,14 @@ def run_parallel(
             machine=machine, copy_mode=copy_mode, sanitize=sanitize,
             max_imbalance=max_imbalance, faults=faults,
             max_steps=max_steps, max_sim_seconds=max_sim_seconds,
+            backend=backend, op_timeout=op_timeout,
         )
     return _run_recovering(
         spec, graph, nranks, coords=coords, config=config, seed=seed,
         machine=machine, copy_mode=copy_mode, sanitize=sanitize,
         max_imbalance=max_imbalance, faults=faults, retry=retry,
         max_steps=max_steps, max_sim_seconds=max_sim_seconds,
+        backend=backend, op_timeout=op_timeout,
     )
 
 
@@ -407,10 +429,11 @@ def scalapart_parallel(
     seed: SeedLike = None,
     machine: MachineModel = QDR_CLUSTER,
     copy_mode: str = "readonly",
+    backend: str = "sim",
 ) -> PartitionResult:
     """Run distributed ScalaPart on ``nranks`` virtual ranks."""
     return run_parallel("ScalaPart", graph, nranks, config=config, seed=seed,
-                        machine=machine, copy_mode=copy_mode)
+                        machine=machine, copy_mode=copy_mode, backend=backend)
 
 
 def sp_pg7_nl_parallel(

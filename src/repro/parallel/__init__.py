@@ -9,6 +9,7 @@ from .faults import (
     corrupt_payload,
 )
 from .machine import MachineModel, QDR_CLUSTER, ZERO_COST
+from .procs import procs_available, run_spmd_procs
 from .topology import ProcessGrid, grid_dims
 from .trace import (
     CommStats,
@@ -32,6 +33,8 @@ __all__ = [
     "MachineModel",
     "QDR_CLUSTER",
     "ZERO_COST",
+    "procs_available",
+    "run_spmd_procs",
     "ProcessGrid",
     "grid_dims",
     "PhaseBreakdown",

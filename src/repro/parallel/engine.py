@@ -155,6 +155,9 @@ def _readonly_payload(obj: Any) -> Any:
 
 _COPY_MODES = ("readonly", "defensive")
 
+#: execution backends run_spmd can dispatch to
+_BACKENDS = ("sim", "procs")
+
 
 _REDUCERS: Dict[str, Callable[[Any, Any], Any]] = {
     "sum": lambda a, b: a + b,
@@ -582,6 +585,8 @@ def run_spmd(
     faults: Optional[FaultPlan] = None,
     max_steps: Optional[int] = None,
     max_sim_seconds: Optional[float] = None,
+    backend: str = "sim",
+    op_timeout: Optional[float] = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute rank program ``fn`` on ``nranks`` virtual ranks.
@@ -615,7 +620,34 @@ def run_spmd(
     :class:`~repro.errors.BudgetExceededError` instead of a hang.  With
     all three left ``None`` (the default) the engine takes the existing
     fast path unchanged.
+
+    ``backend`` selects the executor: ``"sim"`` (default) is the
+    deterministic single-process simulator documented above;
+    ``"procs"`` runs the same rank program on one worker *process* per
+    rank (:func:`~repro.parallel.procs.run_spmd_procs`) with measured
+    wall-clock timing.  ``op_timeout`` bounds how long a procs-backend
+    rank may block on one operation before a
+    :class:`~repro.errors.DeadlockError` (ignored by the simulator,
+    which detects deadlocks exactly).  An unknown backend raises
+    ``ValueError`` — catching typos that the engine's ``**kwargs``
+    forwarding used to swallow silently.
     """
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; known backends: "
+            + ", ".join(repr(b) for b in _BACKENDS)
+        )
+    if backend == "procs":
+        from .procs import run_spmd_procs
+
+        # env-derived sanitize is deliberately NOT resolved here: only an
+        # explicit sanitize=True is an error on the procs backend
+        return run_spmd_procs(
+            fn, nranks, *args, machine=machine, seed=seed,
+            copy_mode=copy_mode, sanitize=sanitize, faults=faults,
+            max_steps=max_steps, max_sim_seconds=max_sim_seconds,
+            op_timeout=op_timeout, **kwargs,
+        )
     if nranks < 1:
         raise CommError(f"nranks must be >= 1, got {nranks}")
     if sanitize is None:

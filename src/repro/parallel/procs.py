@@ -1,0 +1,885 @@
+"""Real-parallel executor: one OS process per rank (``backend="procs"``).
+
+:func:`run_spmd_procs` runs the *same* rank programs the simulated
+engine runs — unmodified generator functions driving the same
+:class:`~repro.parallel.engine.Comm` surface — but each rank is a real
+``multiprocessing`` worker (fork start method), point-to-point and
+collective payloads move over per-rank queues, and large NumPy arrays
+travel pickle-free through named ``shared_memory`` segments.  The
+simulated engine is the executable oracle: for a deterministic rank
+program, both backends must produce bit-identical per-rank results and
+identical communication ledgers (asserted by
+``tests/parallel/test_backend_parity.py``).
+
+How parity is achieved
+----------------------
+* **Same op stream.**  Workers reuse the engine's :class:`Comm` and
+  ``_Op`` classes verbatim; the per-process driver interprets the ops a
+  rank yields exactly as the simulator's scheduler does.
+* **Same reduction/collective semantics.**  Each collective is
+  coordinated by the communicator's first member (local rank 0), which
+  validates mismatched kinds/roots with the simulator's error messages
+  and computes results with the engine's own ``_reduce_values`` /
+  ``_copy_payload`` in local-rank order — bit-identical folds.
+* **Same seeding.**  Every worker derives the full per-rank stream list
+  with :func:`~repro.rng.spawn_streams` from the one engine seed, so
+  ``comm.rng`` is the stream the simulator would have handed it.
+* **Same ledger.**  Each member books its own per-phase CommStats
+  exactly as the simulator does (``collective_ops`` counted once, in
+  the coordinator's phase); the parent merges the per-rank columns.
+
+What differs (and is documented in DESIGN §"Execution backends"):
+clocks are *measured wall seconds* (not Hockney-model estimates), so
+clock-dependent outputs are excluded from parity; ``copy_mode`` always
+behaves defensively (process isolation copies every payload);
+``sanitize=True``, message faults, fault rates and ``max_sim_seconds``
+are simulated-only and raise :class:`~repro.errors.ConfigError`;
+``max_steps`` is enforced per rank rather than globally.  Scheduled
+:class:`~repro.parallel.faults.KillRank` faults *are* supported — the
+worker ``os._exit``\\ s and the parent surfaces a typed
+:class:`~repro.errors.RankFailure`.  A blocked operation times out
+after ``op_timeout`` seconds and raises a
+:class:`~repro.errors.DeadlockError` carrying the same parked-op
+context dict the simulator reports.
+"""
+
+from __future__ import annotations
+
+import glob
+import itertools
+import os
+import queue as _queue
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import errors as _errors
+from ..errors import (
+    BudgetExceededError,
+    CommError,
+    ConfigError,
+    DeadlockError,
+    RankFailure,
+)
+from ..graph.distributed import Shared
+from ..rng import SeedLike, spawn_streams
+from .engine import (
+    _COLLECTIVES,
+    _COPY_MODES,
+    _Group,
+    _Op,
+    _copy_payload,
+    _op_words,
+    _reduce_values,
+)
+from .faults import FaultPlan
+from .machine import MachineModel, QDR_CLUSTER
+from .trace import CommStats, DEFAULT_PHASE, PhaseBreakdown, SpmdResult
+
+__all__ = ["run_spmd_procs", "procs_available", "DEFAULT_OP_TIMEOUT"]
+
+#: default seconds a blocked op waits before raising DeadlockError
+DEFAULT_OP_TIMEOUT = 120.0
+
+#: worker exit code signalling an injected KillRank (not a crash)
+_KILLED_EXIT = 66
+
+#: arrays at or above this many bytes travel via shared memory
+_SHM_THRESHOLD = 1 << 16
+
+#: parent poll interval while waiting for worker results (seconds)
+_POLL = 0.1
+
+_RUN_COUNTER = itertools.count()
+
+#: diagnostics of the most recent run in this process (leak tests)
+_LAST_RUN: Dict[str, Any] = {}
+
+
+def procs_available() -> bool:
+    """Can ``backend="procs"`` run here?  Requires the fork start
+    method (rank programs are closures and are inherited, never
+    pickled)."""
+    import multiprocessing as mp
+
+    return "fork" in mp.get_all_start_methods()
+
+
+# ----------------------------------------------------------------------
+# shared-memory payload codec
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _ShmArray:
+    """Placeholder for an ndarray parked in a named shm segment."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    order: str  # "C" or "F"
+
+
+class _SharedRef:
+    """Pickled stand-in for :class:`Shared` (codec-internal)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+def _untrack(shm) -> None:
+    """Detach a freshly *created* segment from the resource tracker.
+
+    Ownership is explicit here: the consumer unlinks (its attach-time
+    registration and unlink-time unregistration balance out on
+    CPython < 3.13, where attaching also registers) and the parent
+    sweeps leftovers by name prefix.  Leaving the creator's
+    registration in place would make the tracker double-unlink at
+    interpreter exit.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class _SegmentFactory:
+    """Names and creates this worker's outgoing shm segments."""
+
+    def __init__(self, prefix: str, rank: int) -> None:
+        self._prefix = prefix
+        self._rank = rank
+        self._seq = itertools.count()
+
+    def new(self, nbytes: int):
+        from multiprocessing.shared_memory import SharedMemory
+
+        name = f"{self._prefix}r{self._rank}s{next(self._seq):x}"
+        shm = SharedMemory(name=name, create=True, size=max(1, nbytes))
+        _untrack(shm)
+        return shm
+
+
+def _encode_payload(obj: Any, seg: _SegmentFactory) -> Any:
+    """Replace large arrays with shm placeholders; rebuild containers."""
+    if isinstance(obj, np.ndarray):
+        if obj.nbytes < _SHM_THRESHOLD:
+            # small arrays pickle through the queue; strip read-only
+            # views down to plain owned arrays first
+            return obj if obj.flags.owndata and obj.flags.writeable \
+                else obj.copy()
+        if obj.flags.f_contiguous and not obj.flags.c_contiguous:
+            order, data = "F", obj
+        else:
+            order, data = "C", np.ascontiguousarray(obj)
+        shm = seg.new(data.nbytes)
+        dst = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf,
+                         order=order)
+        dst[...] = data
+        meta = _ShmArray(shm.name, data.dtype.str, tuple(data.shape), order)
+        shm.close()
+        return meta
+    if isinstance(obj, list):
+        return [_encode_payload(x, seg) for x in obj]
+    if isinstance(obj, tuple):
+        return tuple(_encode_payload(x, seg) for x in obj)
+    if isinstance(obj, dict):
+        return {k: _encode_payload(v, seg) for k, v in obj.items()}
+    if isinstance(obj, Shared):
+        return _SharedRef(_encode_payload(obj.value, seg))
+    return obj
+
+
+def _decode_payload(obj: Any) -> Any:
+    """Inverse of :func:`_encode_payload`; consumes (unlinks) segments."""
+    if isinstance(obj, _ShmArray):
+        from multiprocessing.shared_memory import SharedMemory
+
+        shm = SharedMemory(name=obj.name)
+        src = np.ndarray(obj.shape, dtype=np.dtype(obj.dtype),
+                         buffer=shm.buf, order=obj.order)
+        arr = src.copy(order=obj.order)
+        shm.close()
+        shm.unlink()
+        return arr
+    if isinstance(obj, list):
+        return [_decode_payload(x) for x in obj]
+    if isinstance(obj, tuple):
+        return tuple(_decode_payload(x) for x in obj)
+    if isinstance(obj, dict):
+        return {k: _decode_payload(v) for k, v in obj.items()}
+    if isinstance(obj, _SharedRef):
+        return Shared(_decode_payload(obj.value))
+    return obj
+
+
+def _drain_segments(obj: Any) -> None:
+    """Unlink every segment referenced by an un-decoded payload
+    (cleanup of messages that will never be delivered)."""
+    if isinstance(obj, _ShmArray):
+        from multiprocessing.shared_memory import SharedMemory
+
+        try:
+            shm = SharedMemory(name=obj.name)
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        return
+    if isinstance(obj, (list, tuple)):
+        for x in obj:
+            _drain_segments(x)
+    elif isinstance(obj, dict):
+        for v in obj.values():
+            _drain_segments(v)
+    elif isinstance(obj, _SharedRef):
+        _drain_segments(obj.value)
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+class _Router:
+    """This worker's view of the message fabric.
+
+    One inbound queue per rank; messages are ``(key, words, encoded)``
+    tuples.  Out-of-order arrivals are buffered per key, preserving
+    per-key FIFO order (the engine's (src, dst, tag, comm) delivery
+    contract).
+    """
+
+    def __init__(self, inboxes: List[Any], grank: int,
+                 timeout: float) -> None:
+        self.inboxes = inboxes
+        self.grank = grank
+        self.timeout = timeout
+        self._buffer: Dict[Tuple, deque] = {}
+
+    def post(self, dst_grank: int, key: Tuple, words: float,
+             encoded: Any) -> None:
+        self.inboxes[dst_grank].put((key, words, encoded))
+
+    def fetch(self, key: Tuple, desc: str, parked: Dict[str, Any]):
+        """Blocking receive of the message filed under ``key``."""
+        buf = self._buffer.get(key)
+        if buf:
+            return buf.popleft()
+        deadline = time.monotonic() + self.timeout
+        inbox = self.inboxes[self.grank]
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlockError(
+                    f"procs backend: rank {self.grank} made no progress for "
+                    f"{self.timeout:.6g}s waiting on {desc} "
+                    f"[phase {parked['phase']!r}]",
+                    parked=[parked],
+                )
+            try:
+                k, words, encoded = inbox.get(timeout=min(remaining, 0.25))
+            except _queue.Empty:
+                continue
+            if k == key:
+                return words, encoded
+            self._buffer.setdefault(k, deque()).append((words, encoded))
+
+    def drain(self) -> None:
+        """Consume leftover segments so nothing leaks on normal exit."""
+        for q in self._buffer.values():
+            for _, encoded in q:
+                _drain_segments(encoded)
+        inbox = self.inboxes[self.grank]
+        while True:
+            try:
+                _, _, encoded = inbox.get_nowait()
+            except _queue.Empty:
+                return
+            _drain_segments(encoded)
+
+
+class _WorkerSide:
+    """Engine stand-in inside one worker: the object a :class:`Comm`
+    holds.  Time is *measured* (wall seconds between op boundaries);
+    ``charge``/``charge_comm`` are therefore no-ops."""
+
+    def __init__(self, grank: int, nranks: int, machine: MachineModel,
+                 seed: SeedLike, router: _Router,
+                 seg: _SegmentFactory) -> None:
+        self.grank = grank
+        self.nranks = nranks
+        self.machine = machine
+        self.rngs = spawn_streams(seed, nranks)
+        self.router = router
+        self.seg = seg
+        self.clocks = np.zeros(nranks)
+        self.comp_time = 0.0
+        self.comm_time = 0.0
+        self.phase = DEFAULT_PHASE
+        self.phase_acc: Dict[str, List[float]] = {}
+        self.stats: Dict[str, CommStats] = {}
+        self.groups: Dict[Any, _Group] = {}
+        self.coll_seq: Dict[Any, int] = {}
+        self.messages = 0
+        self.collectives = 0
+        self.words_sent = 0.0
+        self._mark = time.perf_counter()
+
+    # -- Comm-facing surface (mirrors _Engine) --------------------------
+    def charge(self, grank: int, work: float) -> None:
+        pass  # real time is measured, not modelled
+
+    def charge_comm(self, grank: int, dt: float) -> None:
+        pass
+
+    def set_phase(self, grank: int, name: str) -> None:
+        self.mark_comp()
+        self.phase = name
+
+    # -- wall-clock accounting ------------------------------------------
+    def _phase_cell(self) -> List[float]:
+        cell = self.phase_acc.get(self.phase)
+        if cell is None:
+            cell = self.phase_acc[self.phase] = [0.0, 0.0]
+        return cell
+
+    def _book(self, slot: int) -> None:
+        now = time.perf_counter()
+        dt = now - self._mark
+        self._mark = now
+        if dt <= 0:
+            return
+        self._phase_cell()[slot] += dt
+        if slot == 0:
+            self.comp_time += dt
+        else:
+            self.comm_time += dt
+        self.clocks[self.grank] += dt
+
+    def mark_comp(self) -> None:
+        self._book(0)
+
+    def mark_comm(self) -> None:
+        self._book(1)
+
+    def stats_for(self, grank: int) -> CommStats:
+        s = self.stats.get(self.phase)
+        if s is None:
+            s = self.stats[self.phase] = CommStats.zeros(self.nranks)
+        return s
+
+    def make_comm(self, group: _Group, grank: int):
+        from .engine import Comm
+
+        return Comm(self, group, grank)
+
+    def parked_ctx(self, kind: str, peer=None, tag=None, cid=None) -> Dict[str, Any]:
+        return {"rank": self.grank, "kind": kind, "peer": peer,
+                "tag": tag, "comm": cid, "phase": self.phase}
+
+
+def _execute_op(side: _WorkerSide, op: _Op) -> Any:
+    """Execute one yielded op against the real fabric."""
+    group = side.groups[op.cid]
+    me = side.grank
+    if op.kind == "send":
+        if not (0 <= op.dest < group.size):
+            raise CommError(
+                f"send dest {op.dest} out of range for comm size {group.size}"
+            )
+        gdst = group.members[op.dest]
+        words = _op_words(op)
+        encoded = _encode_payload(op.value, side.seg)
+        side.router.post(gdst, ("p", me, op.tag, op.cid), words, encoded)
+        side.messages += 1
+        side.words_sent += words
+        stats = side.stats_for(me)
+        stats.sends[me] += 1
+        stats.words_sent[me] += words
+        return None
+    if op.kind == "recv":
+        if not (0 <= op.source < group.size):
+            raise CommError(
+                f"recv source {op.source} out of range for comm size "
+                f"{group.size}"
+            )
+        gsrc = group.members[op.source]
+        desc = f"recv(comm={op.cid}, source={op.source}, tag={op.tag})"
+        words, encoded = side.router.fetch(
+            ("p", gsrc, op.tag, op.cid), desc,
+            side.parked_ctx("recv", peer=op.source, tag=op.tag, cid=op.cid),
+        )
+        stats = side.stats_for(me)
+        stats.recvs[me] += 1
+        stats.words_received[me] += words
+        return _decode_payload(encoded)
+    if op.kind in _COLLECTIVES:
+        return _collective(side, group, op)
+    raise CommError(f"unhandled op kind {op.kind!r}")  # pragma: no cover
+
+
+def _collective(side: _WorkerSide, group: _Group, op: _Op) -> Any:
+    """One collective step, coordinated by the group's first member.
+
+    Ledger parity with the simulator's ``_count_collective``: every
+    member books its participation and contributed words in its own
+    phase; the completed operation is counted once, in the
+    coordinator's (local rank 0's) phase.
+    """
+    cid = group.cid
+    seq = side.coll_seq.get(cid, 0)
+    side.coll_seq[cid] = seq + 1
+    me = side.grank
+    p = group.size
+    stats = side.stats_for(me)
+    stats._coll_array(op.kind)[me] += 1
+    stats.collective_words[me] += _op_words(op)
+    coord = group.members[0]
+    desc = f"{op.kind}(comm={cid})"
+    parked = side.parked_ctx(op.kind, cid=cid)
+    if me != coord:
+        contrib = (op.kind, op.root, op.color, op.key, op.op,
+                   _encode_payload(op.value, side.seg))
+        side.router.post(coord, ("cc", me, seq, cid), 0.0, contrib)
+        _, encoded = side.router.fetch(("cr", cid, seq), desc, parked)
+        result = _decode_payload(encoded)
+        return _finish_collective(side, group, op, result)
+
+    # ---- coordinator path ----
+    ops: List[_Op] = [op]
+    for i in range(1, p):
+        _, contrib = side.router.fetch(("cc", group.members[i], seq, cid),
+                                       desc, parked)
+        kind, root, color, key, redop, encoded = contrib
+        ops.append(_Op(kind, cid, value=_decode_payload(encoded), root=root,
+                       op=redop, color=color, key=key))
+    kinds = {o.kind for o in ops}
+    if len(kinds) != 1:
+        raise CommError(
+            f"mismatched collectives on comm {cid}: "
+            + ", ".join(f"rank {i}:{o.kind}" for i, o in enumerate(ops))
+        )
+    kind = kinds.pop()
+    if kind in ("bcast", "reduce", "gather", "scatter"):
+        roots = {o.root for o in ops}
+        if len(roots) != 1:
+            raise CommError(f"mismatched roots in {kind} on comm {cid}: {roots}")
+    results = _collective_results(side, group, kind, ops)
+    side.collectives += 1
+    stats = side.stats_for(me)
+    stats.collective_ops[kind] = stats.collective_ops.get(kind, 0) + 1
+    for i in range(1, p):
+        side.router.post(group.members[i], ("cr", cid, seq), 0.0,
+                         _encode_payload(results[i], side.seg))
+    return _finish_collective(side, group, op, _copy_payload(results[0]))
+
+
+def _finish_collective(side: _WorkerSide, group: _Group, op: _Op,
+                       result: Any) -> Any:
+    """Post-process a collective result on the receiving member."""
+    if op.kind == "split":
+        if result is None:
+            return None
+        child_cid, members = result
+        child = _Group(child_cid, tuple(members))
+        side.groups[child_cid] = child
+        return side.make_comm(child, side.grank)
+    return result
+
+
+def _collective_results(side: _WorkerSide, group: _Group, kind: str,
+                        ops: List[_Op]) -> List[Any]:
+    """Per-local-rank results, mirroring the simulator's
+    ``_run_collective`` value semantics exactly (delivery copies are the
+    codec's job; folds reuse the engine's own helpers)."""
+    p = group.size
+    if kind == "barrier":
+        return [None] * p
+    if kind == "bcast":
+        rval = ops[ops[0].root].value
+        return [rval] * p
+    if kind == "reduce":
+        red = _reduce_values([o.value for o in ops], ops[0].op)
+        return [red if i == ops[0].root else None for i in range(p)]
+    if kind == "allreduce":
+        red = _reduce_values([o.value for o in ops], ops[0].op)
+        return [red] * p
+    if kind == "scan":
+        results: List[Any] = []
+        acc = None
+        for o in ops:
+            acc = _copy_payload(o.value) if acc is None \
+                else _reduce_values([acc, o.value], o.op)
+            results.append(_copy_payload(acc))
+        return results
+    if kind == "gather":
+        gathered = [o.value for o in ops]
+        return [gathered if i == ops[0].root else None for i in range(p)]
+    if kind == "allgather":
+        items = [o.value for o in ops]
+        return [list(items) for _ in range(p)]
+    if kind == "scatter":
+        vals = ops[ops[0].root].value
+        if vals is None or len(vals) != p:
+            raise CommError(
+                f"scatter root must supply exactly {p} values, got "
+                f"{None if vals is None else len(vals)}"
+            )
+        return list(vals)
+    if kind == "alltoall":
+        for o in ops:
+            if o.value is None or len(o.value) != p:
+                raise CommError(f"alltoall requires {p} values per rank")
+        return [[ops[src].value[dst] for src in range(p)] for dst in range(p)]
+    if kind == "exchange":
+        inboxes: List[Dict[int, Any]] = [dict() for _ in range(p)]
+        for i, o in enumerate(ops):
+            msgs = o.value or {}
+            if not isinstance(msgs, dict):
+                raise CommError("exchange expects a dict {neighbor_rank: payload}")
+            for dst, payload in msgs.items():
+                if not (0 <= dst < p):
+                    raise CommError(f"exchange neighbour {dst} out of range")
+                if dst == i:
+                    raise CommError("exchange to self is not allowed")
+                inboxes[dst][i] = payload
+        return inboxes
+    if kind == "split":
+        granks = list(group.members)
+        by_color: Dict[Any, List[Tuple[int, int, int]]] = {}
+        for i, o in enumerate(ops):
+            if o.color is not None:
+                by_color.setdefault(o.color, []).append((o.key, i, granks[i]))
+        seq = side.coll_seq[group.cid] - 1  # the seq of this split op
+        results: List[Any] = [None] * p
+        for ci, (color, lst) in enumerate(
+                sorted(by_color.items(), key=lambda kv: repr(kv[0]))):
+            lst.sort()
+            child_cid = f"{group.cid}/{seq}.{ci}"
+            members = tuple(grank for _, _, grank in lst)
+            for _, i, _ in lst:
+                results[i] = (child_cid, members)
+        return results
+    raise CommError(f"unhandled collective {kind}")  # pragma: no cover
+
+
+def _drive(side: _WorkerSide, gen, plan: Optional[FaultPlan],
+           max_steps: Optional[int]) -> Any:
+    """Drive one rank program to completion against the real fabric."""
+    value = None
+    op_index = 0
+    side._mark = time.perf_counter()
+    while True:
+        try:
+            op = gen.send(value)
+        except StopIteration as stop:
+            side.mark_comp()
+            return stop.value
+        side.mark_comp()
+        if not isinstance(op, _Op):
+            raise CommError(
+                f"rank {side.grank} yielded {op!r}; rank programs must only "
+                "yield via 'yield from comm.<op>(...)'"
+            )
+        if max_steps is not None and op_index + 1 > max_steps:
+            raise BudgetExceededError(
+                f"rank {side.grank} posted more than max_steps={max_steps} "
+                "communication operations (the procs backend bounds each "
+                "rank separately)",
+                budget="steps", limit=max_steps, used=op_index + 1,
+            )
+        if plan is not None and plan.kill_now(side.grank, op_index, 0):
+            os._exit(_KILLED_EXIT)
+        op_index += 1
+        value = _execute_op(side, op)
+        side.mark_comm()
+
+
+def _worker_entry(rank: int, nranks: int, fn, args, kwargs,
+                  machine: MachineModel, seed: SeedLike, prefix: str,
+                  inboxes, results_q, plan: Optional[FaultPlan],
+                  max_steps: Optional[int], op_timeout: float) -> None:
+    """Process entry point for one rank (fork: everything inherited)."""
+    import inspect
+
+    seg = _SegmentFactory(prefix, rank)
+    router = _Router(inboxes, rank, op_timeout)
+    side = _WorkerSide(rank, nranks, machine, seed, router, seg)
+    world = _Group(0, tuple(range(nranks)))
+    side.groups[0] = world
+    comm = side.make_comm(world, rank)
+    try:
+        out = fn(comm, *args, **kwargs)
+        if inspect.isgenerator(out):
+            result = _drive(side, out, plan, max_steps)
+        else:
+            result = out
+        router.drain()
+        payload = _encode_payload({
+            "value": result,
+            "pid": os.getpid(),
+            "clock": float(side.clocks[rank]),
+            "comp": side.comp_time,
+            "comm": side.comm_time,
+            "phase_acc": dict(side.phase_acc),
+            "stats": {name: s.to_dict() for name, s in side.stats.items()},
+            "messages": side.messages,
+            "collectives": side.collectives,
+            "words_sent": side.words_sent,
+        }, seg)
+        results_q.put(("done", rank, payload))
+    except BaseException as exc:  # noqa: BLE001 - reconstructed in parent
+        attrs = {}
+        for name in ("parked", "dead_rank", "phase", "sim_time",
+                     "detected_by", "budget", "limit", "used"):
+            if hasattr(exc, name):
+                attrs[name] = getattr(exc, name)
+        results_q.put(("error", rank, type(exc).__name__, str(exc), attrs,
+                       traceback.format_exc()))
+    finally:
+        results_q.close()
+        results_q.join_thread()
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+def _validate(nranks: int, copy_mode: str, sanitize: Optional[bool],
+              faults: Optional[FaultPlan],
+              max_sim_seconds: Optional[float]) -> None:
+    if nranks < 1:
+        raise CommError(f"nranks must be >= 1, got {nranks}")
+    if copy_mode not in _COPY_MODES:
+        raise CommError(
+            f"unknown copy_mode {copy_mode!r}; expected one of {_COPY_MODES}"
+        )
+    if sanitize:
+        raise ConfigError(
+            "sanitize=True is simulated-only: the dynamic sanitizer "
+            "instruments the in-process scheduler and cannot observe "
+            "payloads across process boundaries; run backend='sim' to "
+            "sanitize (REPRO_SANITIZE is ignored by backend='procs')"
+        )
+    if max_sim_seconds is not None:
+        raise ConfigError(
+            "max_sim_seconds is simulated-only (the procs backend has no "
+            "modelled clock); use max_steps or op_timeout instead"
+        )
+    if faults is not None:
+        if faults.messages or faults.kill_rate or faults.drop_rate \
+                or faults.duplicate_rate or faults.delay_rate \
+                or faults.corrupt_rate:
+            raise ConfigError(
+                "backend='procs' supports scheduled KillRank faults only; "
+                "message faults and random rates need the simulator's "
+                "deterministic global scheduler"
+            )
+    if not procs_available():
+        raise CommError(
+            "backend='procs' requires the fork start method "
+            "(rank programs are closures and cannot be pickled)"
+        )
+
+
+def _raise_worker_error(rank: int, cls_name: str, message: str,
+                        attrs: Dict[str, Any], tb: str) -> None:
+    cls = getattr(_errors, cls_name, None)
+    if isinstance(cls, type) and issubclass(cls, _errors.ReproError):
+        if cls is DeadlockError:
+            raise DeadlockError(message, parked=attrs.get("parked"))
+        exc = cls(message)
+        for name, value in attrs.items():
+            setattr(exc, name, value)
+        raise exc
+    raise CommError(
+        f"procs backend: rank {rank} raised {cls_name}: {message}\n{tb}"
+    )
+
+
+def _scheduled_kill_for(faults: Optional[FaultPlan],
+                        rank: int) -> Optional[int]:
+    """op ordinal of the active scheduled kill for ``rank``, if any."""
+    if faults is None:
+        return None
+    for k in faults.kills:
+        if k.rank == rank and faults._active(k.attempts):
+            return k.at_op
+    return None
+
+
+def _sweep_segments(prefix: str) -> List[str]:
+    """Remove leftover /dev/shm segments of this run; return their names."""
+    leaked = []
+    for path in glob.glob(f"/dev/shm/{prefix}*"):
+        leaked.append(os.path.basename(path))
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    return sorted(leaked)
+
+
+def run_spmd_procs(
+    fn,
+    nranks: int,
+    *args: Any,
+    machine: MachineModel = QDR_CLUSTER,
+    seed: SeedLike = None,
+    copy_mode: str = "readonly",
+    sanitize: Optional[bool] = None,
+    faults: Optional[FaultPlan] = None,
+    max_steps: Optional[int] = None,
+    max_sim_seconds: Optional[float] = None,
+    op_timeout: Optional[float] = None,
+    **kwargs: Any,
+) -> SpmdResult:
+    """Execute rank program ``fn`` on ``nranks`` worker *processes*.
+
+    Same contract as :func:`~repro.parallel.engine.run_spmd` (which
+    delegates here for ``backend="procs"``); see the module docstring
+    for the semantic differences.  The returned
+    :class:`~repro.parallel.trace.SpmdResult` has ``backend="procs"``,
+    wall-clock timing accounts, and the per-rank worker ``pids``.
+    """
+    import multiprocessing as mp
+
+    _validate(nranks, copy_mode, sanitize, faults, max_sim_seconds)
+    if op_timeout is None:
+        op_timeout = DEFAULT_OP_TIMEOUT
+
+    ctx = mp.get_context("fork")
+    prefix = f"rpr{os.getpid():x}g{next(_RUN_COUNTER):x}"
+    inboxes = [ctx.Queue() for _ in range(nranks)]
+    results_q = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_worker_entry,
+            args=(r, nranks, fn, args, kwargs, machine, seed, prefix,
+                  inboxes, results_q, faults, max_steps, op_timeout),
+            daemon=True,
+        )
+        for r in range(nranks)
+    ]
+    done: Dict[int, Dict[str, Any]] = {}
+    error: Optional[Tuple] = None
+    report = _LAST_RUN
+    report.clear()
+    report.update({"prefix": prefix, "leaked": None})
+    try:
+        for w in workers:
+            w.start()
+        deadline = time.monotonic() + op_timeout + 30.0 * max(1, nranks)
+        while len(done) < nranks and error is None:
+            try:
+                msg = results_q.get(timeout=_POLL)
+            except _queue.Empty:
+                msg = None
+            if msg is not None:
+                if msg[0] == "done":
+                    done[msg[1]] = _decode_payload(msg[2])
+                else:
+                    error = msg
+                continue
+            # no message: check for silently dead workers
+            for r, w in enumerate(workers):
+                if r in done or w.exitcode is None:
+                    continue
+                # drain once more — the result may have raced the exit
+                try:
+                    while True:
+                        msg = results_q.get_nowait()
+                        if msg[0] == "done":
+                            done[msg[1]] = _decode_payload(msg[2])
+                        else:
+                            error = msg
+                except _queue.Empty:
+                    pass
+                if r in done or error is not None:
+                    break
+                at_op = _scheduled_kill_for(faults, r)
+                if w.exitcode == _KILLED_EXIT and at_op is not None:
+                    detail = (f"rank {r} was killed (injected fault) at "
+                              f"op {at_op} and never returned")
+                else:
+                    detail = (f"rank {r} worker process died with exit code "
+                              f"{w.exitcode} before returning a result")
+                raise RankFailure(
+                    "procs backend: " + detail, dead_rank=r, phase="",
+                    sim_time=0.0,
+                )
+            if time.monotonic() > deadline:
+                raise DeadlockError(
+                    f"procs backend: no worker produced a result within "
+                    f"{op_timeout:.6g}s (+grace); the run was terminated",
+                    parked=[],
+                )
+        if error is not None:
+            _, rank, cls_name, message, attrs, tb = error
+            _raise_worker_error(rank, cls_name, message, attrs, tb)
+    finally:
+        for w in workers:
+            if w.is_alive():
+                w.terminate()
+        for w in workers:
+            w.join(timeout=5.0)
+        for q in inboxes:
+            q.cancel_join_thread()
+            q.close()
+        results_q.cancel_join_thread()
+        results_q.close()
+        report["leaked"] = _sweep_segments(prefix)
+
+    # ---- assemble the cross-rank result -------------------------------
+    clocks = np.zeros(nranks)
+    comp_time = np.zeros(nranks)
+    comm_time = np.zeros(nranks)
+    values: List[Any] = [None] * nranks
+    pids: List[int] = [0] * nranks
+    phases: Dict[str, PhaseBreakdown] = {}
+    stats: Dict[str, CommStats] = {}
+    messages = 0
+    collectives = 0
+    words_sent = 0.0
+    for r in range(nranks):
+        rec = done[r]
+        values[r] = rec["value"]
+        pids[r] = rec["pid"]
+        clocks[r] = rec["clock"]
+        comp_time[r] = rec["comp"]
+        comm_time[r] = rec["comm"]
+        messages += rec["messages"]
+        collectives += rec["collectives"]
+        words_sent += rec["words_sent"]
+        for name, (comp, comm) in rec["phase_acc"].items():
+            ph = phases.get(name)
+            if ph is None:
+                ph = phases[name] = PhaseBreakdown.zeros(nranks)
+            ph.comp[r] += comp
+            ph.comm[r] += comm
+        for name, d in rec["stats"].items():
+            s = stats.get(name)
+            if s is None:
+                s = stats[name] = CommStats.zeros(nranks)
+            s.add(CommStats.from_dict(d))
+    return SpmdResult(
+        values=values,
+        clocks=clocks,
+        comp_time=comp_time,
+        comm_time=comm_time,
+        phases=phases,
+        messages=messages,
+        collectives=collectives,
+        words_sent=words_sent,
+        comm_stats=CommStats.aggregate(stats, nranks),
+        faults=[],
+        backend="procs",
+        pids=pids,
+    )

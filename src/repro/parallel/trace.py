@@ -307,6 +307,13 @@ class SpmdResult:
     faults:
         injected :class:`~repro.parallel.faults.FaultEvent` records, in
         injection order (empty when the run had no fault plan).
+    backend:
+        which executor produced the result: ``"sim"`` (clocks are
+        Hockney-model estimates) or ``"procs"`` (clocks are measured
+        wall seconds on real worker processes).
+    pids:
+        per-rank OS process ids (``None`` on the simulated backend,
+        where every rank shares the host process).
     """
 
     values: List[Any]
@@ -319,6 +326,8 @@ class SpmdResult:
     words_sent: float = 0.0
     comm_stats: Optional[CommStats] = None
     faults: List[Any] = field(default_factory=list)
+    backend: str = "sim"
+    pids: Optional[List[int]] = None
 
     @property
     def nranks(self) -> int:
@@ -388,6 +397,7 @@ def trace_records(result: SpmdResult) -> Iterator[Dict[str, Any]]:
     stats = result.comm_stats
     run: Dict[str, Any] = {
         "record": "run",
+        "backend": result.backend,
         "nranks": result.nranks,
         "elapsed": result.elapsed,
         "clocks": result.clocks.tolist(),
@@ -397,6 +407,8 @@ def trace_records(result: SpmdResult) -> Iterator[Dict[str, Any]]:
         "collectives": result.collectives,
         "words_sent": result.words_sent,
     }
+    if result.pids is not None:
+        run["pids"] = list(result.pids)
     if result.faults:
         run["faults_injected"] = len(result.faults)
     if stats is not None:

@@ -1,4 +1,4 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and cross-backend helpers for the test suite."""
 
 from __future__ import annotations
 
@@ -6,6 +6,55 @@ import numpy as np
 import pytest
 
 from repro.graph import generators as gen
+
+
+def ledger_fingerprint(stats):
+    """Deterministic view of a :class:`CommStats` ledger, per phase.
+
+    Drops ``wait_time`` (wall-clock derived on the procs backend, hence
+    nondeterministic) so the rest of the ledger — message counts, word
+    counts, collective participation and op counts — can be compared
+    bit-for-bit across backends and across reruns.
+    """
+    if stats is None:
+        return None
+
+    def _clean(s):
+        d = s.to_dict()
+        d.pop("wait_time", None)
+        return d
+
+    fp = _clean(stats)
+    fp["phases"] = {name: _clean(ph) for name, ph in sorted(stats.phases.items())}
+    return fp
+
+
+def run_both_backends(method, graph, nranks, *, seed, coords=None, **kwargs):
+    """Run one registered method on both executors, same inputs.
+
+    Returns ``(sim_result, procs_result)`` — two
+    :class:`~repro.results.PartitionResult` objects produced by
+    ``backend="sim"`` and ``backend="procs"`` respectively.  Callers
+    compare partition vectors, cuts, and ledger fingerprints; clocks
+    and phase timings are *not* comparable (modelled vs measured).
+    """
+    from repro.core.parallel import run_parallel
+
+    sim = run_parallel(method, graph, nranks, coords=coords, seed=seed,
+                       backend="sim", **kwargs)
+    procs = run_parallel(method, graph, nranks, coords=coords, seed=seed,
+                         backend="procs", **kwargs)
+    return sim, procs
+
+
+@pytest.fixture(name="ledger_fingerprint")
+def ledger_fingerprint_fixture():
+    return ledger_fingerprint
+
+
+@pytest.fixture(name="run_both_backends")
+def run_both_backends_fixture():
+    return run_both_backends
 
 
 @pytest.fixture

@@ -131,7 +131,7 @@ class TestTrace:
         rc = main(["trace", path, "--nranks", "4", "--seed", "5"])
         assert rc == 0
         out = capsys.readouterr().out
-        assert "method=ScalaPart nranks=4" in out
+        assert "method=ScalaPart backend=sim nranks=4" in out
         assert "global collectives:" in out
         # per-phase rows with hierarchical labels (the 144-vertex grid
         # is below coarsest_size, so no coarsen/* phases appear)

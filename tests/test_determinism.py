@@ -15,16 +15,22 @@ import pytest
 from repro.core.config import ScalaPartConfig
 from repro.core.parallel import scalapart_parallel
 from repro.graph.generators import random_delaunay
-from repro.parallel import trace_records
+from repro.parallel import procs_available, trace_records
+
+from tests.conftest import ledger_fingerprint
 
 P = 8
 SEED = 1234
 CFG = ScalaPartConfig(coarsest_iters=60, smooth_iters=6)
 
+#: both executors must uphold the same golden guarantees
+BACKENDS = ["sim"] + (["procs"] if procs_available() else [])
 
-def _run(copy_mode="readonly"):
+
+def _run(copy_mode="readonly", backend="sim"):
     g = random_delaunay(500, seed=21).graph
-    return scalapart_parallel(g, P, CFG, seed=SEED, copy_mode=copy_mode)
+    return scalapart_parallel(g, P, CFG, seed=SEED, copy_mode=copy_mode,
+                              backend=backend)
 
 
 class TestScalaPartDeterminism:
@@ -67,6 +73,29 @@ class TestScalaPartDeterminism:
         assert ta.clocks.tobytes() == tb.clocks.tobytes()
         assert json.dumps(ta.comm_stats.to_dict()) == json.dumps(
             tb.comm_stats.to_dict()
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_golden_partition_per_backend(self, backend):
+        """Backend-parametrised golden: the partition vector and the
+        communication ledger (counts/words, not timings) are identical
+        across same-seed reruns on *each* backend, and identical
+        *between* backends — the procs executor inherits the simulator's
+        golden.  Clocks are deliberately not compared: procs clocks are
+        measured wall time."""
+        a = _run(backend=backend)
+        b = _run(backend=backend)
+        assert a.bisection.side.tobytes() == b.bisection.side.tobytes()
+        assert a.cut_size == b.cut_size
+        fa = ledger_fingerprint(a.extras["trace"].comm_stats)
+        fb = ledger_fingerprint(b.extras["trace"].comm_stats)
+        assert json.dumps(fa) == json.dumps(fb)
+
+        # anchored to the simulator's golden partition
+        sim = _run(backend="sim")
+        assert a.bisection.side.tobytes() == sim.bisection.side.tobytes()
+        assert json.dumps(fa) == json.dumps(
+            ledger_fingerprint(sim.extras["trace"].comm_stats)
         )
 
     def test_different_seed_changes_trace(self):
