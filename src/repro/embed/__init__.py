@@ -4,12 +4,14 @@ from .box import Box, cell_ids, cell_indices
 from .fdl import LayoutResult, force_directed_layout, random_positions
 from .forces import (
     DEFAULT_C,
+    AttractiveWorkspace,
     attractive_forces,
     repulsive_forces_exact,
     spring_energy,
 )
 from .lattice import (
     LatticeStats,
+    LatticeWorkspace,
     beta_force_field,
     lattice_stats,
     repulsive_forces_lattice,
@@ -20,7 +22,7 @@ from .multilevel import (
     lattice_side_for,
     multilevel_embedding,
 )
-from .quadtree import repulsive_forces_bh
+from .quadtree import BHWorkspace, repulsive_forces_bh
 from .quality import (
     EdgeLengthStats,
     crossing_proxy,
@@ -38,10 +40,12 @@ __all__ = [
     "force_directed_layout",
     "random_positions",
     "DEFAULT_C",
+    "AttractiveWorkspace",
     "attractive_forces",
     "repulsive_forces_exact",
     "spring_energy",
     "LatticeStats",
+    "LatticeWorkspace",
     "beta_force_field",
     "lattice_stats",
     "repulsive_forces_lattice",
@@ -49,6 +53,7 @@ __all__ = [
     "hu_layout",
     "lattice_side_for",
     "multilevel_embedding",
+    "BHWorkspace",
     "repulsive_forces_bh",
     "EdgeLengthStats",
     "crossing_proxy",

@@ -26,7 +26,12 @@ import numpy as np
 from ..errors import EmbeddingError
 from ..graph.csr import CSRGraph
 from ..rng import SeedLike, as_generator
-from .forces import DEFAULT_C, attractive_forces, repulsive_forces_exact
+from .forces import (
+    DEFAULT_C,
+    AttractiveWorkspace,
+    attractive_forces,
+    repulsive_forces_exact,
+)
 from .quadtree import repulsive_forces_bh
 
 __all__ = ["LayoutResult", "force_directed_layout", "random_positions"]
@@ -112,6 +117,16 @@ def force_directed_layout(
             return LayoutResult(pos, 0, True, 0.0, 0.0)
     rep = _resolve_repulsion(repulsion, n)
 
+    # Preallocated step workspace: at steady state one smoothing
+    # iteration performs no array allocations beyond the two bincount
+    # outputs inside attractive_forces (DESIGN §11).
+    att_ws = AttractiveWorkspace()
+    f = np.empty((n, 2))
+    norms = np.empty(n)
+    sq = np.empty(n)
+    move = np.empty((n, 2))
+    fixed_rows = fixed[:, None] if fixed is not None else None
+
     step = float(step0) if step0 is not None else k
     energy_prev = np.inf
     progress = 0
@@ -119,7 +134,81 @@ def force_directed_layout(
     it = 0
     energy = 0.0
     for it in range(1, max_iters + 1):
-        f = attractive_forces(graph, pos, k) + rep(pos, masses, c, k)
+        att = attractive_forces(graph, pos, k, workspace=att_ws)
+        np.add(att, rep(pos, masses, c, k), out=f)
+        if fixed is not None:
+            np.copyto(f, 0.0, where=fixed_rows)
+        # norms = ||f|| row-wise; fx² + fy² matches (f*f).sum(axis=1)
+        np.multiply(f[:, 0], f[:, 0], out=norms)
+        np.multiply(f[:, 1], f[:, 1], out=sq)
+        np.add(norms, sq, out=norms)
+        np.sqrt(norms, out=norms)
+        np.multiply(norms, norms, out=sq)
+        energy = float(sq.sum())
+        move.fill(0.0)
+        active = norms > 1e-300
+        np.divide(f, norms[:, None], out=move, where=active[:, None])
+        np.multiply(move, step, out=move)
+        pos += move
+        # Hu's adaptive schedule
+        if energy < energy_prev:
+            progress += 1
+            if progress >= _PROGRESS_LIMIT:
+                progress = 0
+                step /= _T
+        else:
+            progress = 0
+            step *= _T
+        energy_prev = energy
+        if step < tol * k:
+            converged = True
+            break
+    return LayoutResult(pos, it, converged, step, energy)
+
+
+def _force_directed_layout_reference(
+    graph: CSRGraph,
+    pos0: np.ndarray,
+    *,
+    masses: Optional[np.ndarray] = None,
+    c: float = DEFAULT_C,
+    k: float = 1.0,
+    max_iters: int = 100,
+    tol: float = 1e-3,
+    step0: Optional[float] = None,
+    repulsion: RepulsionLike = "auto",
+    fixed: Optional[np.ndarray] = None,
+) -> LayoutResult:
+    """Pre-optimisation layout loop (fresh temporaries every iteration,
+    ``np.add.at`` attraction), kept temporarily so the test suite can
+    assert the workspace-backed loop is bit-identical."""
+    from .forces import _attractive_forces_reference
+
+    n = graph.num_vertices
+    pos = np.array(pos0, dtype=np.float64, copy=True)
+    if pos.shape != (n, 2):
+        raise EmbeddingError(f"pos0 must be ({n}, 2), got {pos.shape}")
+    if max_iters < 0:
+        raise EmbeddingError("max_iters must be nonnegative")
+    if masses is None:
+        masses = graph.vwgt
+    masses = np.asarray(masses, dtype=np.float64)
+    if fixed is not None:
+        fixed = np.asarray(fixed, dtype=bool)
+        if fixed.shape != (n,):
+            raise EmbeddingError("fixed mask must have one entry per vertex")
+        if fixed.all():
+            return LayoutResult(pos, 0, True, 0.0, 0.0)
+    rep = _resolve_repulsion(repulsion, n)
+
+    step = float(step0) if step0 is not None else k
+    energy_prev = np.inf
+    progress = 0
+    converged = False
+    it = 0
+    energy = 0.0
+    for it in range(1, max_iters + 1):
+        f = _attractive_forces_reference(graph, pos, k) + rep(pos, masses, c, k)
         if fixed is not None:
             f[fixed] = 0.0
         norms = np.sqrt((f * f).sum(axis=1))
@@ -128,7 +217,6 @@ def force_directed_layout(
         active = norms > 1e-300
         move[active] = f[active] / norms[active, None] * step
         pos += move
-        # Hu's adaptive schedule
         if energy < energy_prev:
             progress += 1
             if progress >= _PROGRESS_LIMIT:

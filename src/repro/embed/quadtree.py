@@ -20,6 +20,14 @@ Every cell pair is accounted exactly once — at the first level where
 the pair becomes well separated — which is the Barnes–Hut opening rule
 with θ ≈ 1.  Accuracy is validated against
 :func:`repro.embed.forces.repulsive_forces_exact` in the test suite.
+
+Performance notes (DESIGN §11): the 36 interaction-list passes per
+level share one set of per-vertex scratch buffers (a
+:class:`BHWorkspace`, reusable across calls) instead of allocating
+fresh ``where``/gather temporaries in each, and the pass offsets
+``tx = 2·(px+dx)+a = 2·px + (2·dx+a)`` are folded into a precomputed
+offset table applied to a per-level ``2·px`` base.  Accumulation order
+is unchanged, so forces are bit-identical to the allocating kernel.
 """
 
 from __future__ import annotations
@@ -32,10 +40,59 @@ import numpy as np
 from ..errors import EmbeddingError
 from .forces import DEFAULT_C, _EPS2, repulsive_forces_exact
 
-__all__ = ["repulsive_forces_bh"]
+__all__ = ["BHWorkspace", "repulsive_forces_bh"]
 
 #: Below this size the exact sum is both faster and exact.
 _EXACT_CUTOFF = 128
+
+#: Interaction-list pass offsets (ox, oy) with ox = 2·dx + a, oy = 2·dy + b,
+#: in the exact nesting order of the original four loops (dy, dx, b, a) —
+#: the accumulation order is part of the kernel's bit-level contract.
+_PASS_OFFSETS = tuple(
+    ((dx << 1) + a, (dy << 1) + b)
+    for dy in (-1, 0, 1)
+    for dx in (-1, 0, 1)
+    for b in (0, 1)
+    for a in (0, 1)
+)
+
+
+class BHWorkspace:
+    """Reusable per-vertex scratch for :func:`repulsive_forces_bh`.
+
+    One workspace serves any point count: buffers grow on demand and
+    persist across calls, so repeated Barnes–Hut evaluations (the
+    ``"bh"`` smoothing loop) stop paying allocation and first-touch
+    page-fault cost for ~10 temporaries per pass.
+    """
+
+    __slots__ = ("_cap", "_i64", "_f64", "_bool", "_out")
+
+    #: int64 rows: cell-x, cell-y, 2·px, 2·py, tx, ty, tid, |t-c| scratch
+    _N_I64 = 8
+    #: float rows: m, ddx, ddy, r2, scale, gather scratch
+    _N_F64 = 6
+
+    def __init__(self) -> None:
+        self._cap = 0
+        self._i64 = None
+        self._f64 = None
+        self._bool = None
+        self._out = None
+
+    def bind(self, n: int):
+        if n > self._cap:
+            self._i64 = np.empty((self._N_I64, n), dtype=np.int64)
+            self._f64 = np.empty((self._N_F64, n))
+            self._bool = np.empty((2, n), dtype=bool)
+            self._out = np.empty((n, 2))
+            self._cap = n
+        return (
+            tuple(self._i64[i, :n] for i in range(self._N_I64)),
+            tuple(self._f64[i, :n] for i in range(self._N_F64)),
+            (self._bool[0, :n], self._bool[1, :n]),
+            self._out[:n],
+        )
 
 
 def repulsive_forces_bh(
@@ -45,11 +102,16 @@ def repulsive_forces_bh(
     k: float = 1.0,
     leaf_target: float = 2.0,
     max_level: int = 12,
+    *,
+    workspace: Optional[BHWorkspace] = None,
 ) -> np.ndarray:
     """Approximate all-pairs repulsion in ``O(n log n)``.
 
     ``leaf_target`` is the average number of points per finest-level
     cell (smaller = more exact near-field work, higher accuracy).
+    With a ``workspace`` the far-field passes are allocation-free; the
+    returned array lives in the workspace and is overwritten by the
+    next call.
     """
     pos = np.asarray(pos, dtype=np.float64)
     n = pos.shape[0]
@@ -67,9 +129,144 @@ def repulsive_forces_bh(
     ck2 = c * k * k
 
     finest = min(max_level, max(2, math.ceil(math.log(n / leaf_target, 4))))
-    out = np.zeros((n, 2))
+
+    ws = workspace if workspace is not None else BHWorkspace()
+    ints, flts, bools, out = ws.bind(n)
+    cellx, celly, pxs, pys, tx, ty, tid, habs = ints
+    m, ddx, ddy, r2, scale, gat = flts
+    valid, nvalid = bools
+    posx = np.ascontiguousarray(pos[:, 0])
+    posy = np.ascontiguousarray(pos[:, 1])
+    cmass = ck2 * masses  # reference folds (ck2 * masses) first
+    outx = np.zeros(n)
+    outy = np.zeros(n)
 
     # integer cell coordinates at the finest level; coarser levels shift
+    cell = np.clip(((pos - lo) / span * (1 << finest)).astype(np.int64),
+                   0, (1 << finest) - 1)
+
+    for level in range(2, finest + 1):
+        s = 1 << level
+        shift = finest - level
+        np.right_shift(cell[:, 0], shift, out=cellx)
+        np.right_shift(cell[:, 1], shift, out=celly)
+        cid = celly * s + cellx
+        mass = np.bincount(cid, weights=masses, minlength=s * s)
+        comx = np.bincount(cid, weights=masses * posx, minlength=s * s)
+        comy = np.bincount(cid, weights=masses * posy, minlength=s * s)
+        nz = mass > 0
+        comx[nz] /= mass[nz]
+        comy[nz] /= mass[nz]
+        # 2·px = 2·(cx >> 1): the per-level base the pass offsets add to
+        np.right_shift(cellx, 1, out=pxs)
+        np.left_shift(pxs, 1, out=pxs)
+        np.right_shift(celly, 1, out=pys)
+        np.left_shift(pys, 1, out=pys)
+        for ox, oy in _PASS_OFFSETS:
+            np.add(pxs, ox, out=tx)
+            np.add(pys, oy, out=ty)
+            # valid: target inside the grid and outside the own 3×3 ring
+            np.logical_and(tx >= 0, tx < s, out=valid)
+            np.logical_and(valid, ty >= 0, out=valid)
+            np.logical_and(valid, ty < s, out=valid)
+            np.subtract(tx, cellx, out=tid)
+            np.abs(tid, out=tid)
+            np.subtract(ty, celly, out=habs)
+            np.abs(habs, out=habs)
+            np.maximum(tid, habs, out=habs)
+            np.logical_and(valid, habs > 1, out=valid)
+            if not valid.any():
+                continue
+            np.logical_not(valid, out=nvalid)
+            np.multiply(ty, s, out=tid)
+            np.add(tid, tx, out=tid)
+            np.copyto(tid, 0, where=nvalid)
+            np.take(mass, tid, out=m)
+            np.copyto(m, 0.0, where=nvalid)
+            np.take(comx, tid, out=gat)
+            np.subtract(posx, gat, out=ddx)
+            np.take(comy, tid, out=gat)
+            np.subtract(posy, gat, out=ddy)
+            np.multiply(ddx, ddx, out=r2)
+            np.multiply(ddy, ddy, out=scale)
+            np.add(r2, scale, out=r2)
+            np.add(r2, _EPS2, out=r2)
+            np.multiply(cmass, m, out=scale)
+            np.divide(scale, r2, out=scale)
+            np.multiply(scale, ddx, out=gat)
+            np.add(outx, gat, out=outx)
+            np.multiply(scale, ddy, out=gat)
+            np.add(outy, gat, out=outy)
+
+    # exact near field over the finest-level 3x3 neighbourhood
+    s = 1 << finest
+    cx, cy = cell[:, 0], cell[:, 1]
+    cid = cy * s + cx
+    order = np.argsort(cid, kind="stable")
+    counts = np.bincount(cid, minlength=s * s)
+    starts = np.concatenate([[0], np.cumsum(counts)])
+    arange_n = np.arange(n)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            np.add(cx, dx, out=tx)
+            np.add(cy, dy, out=ty)
+            np.logical_and(tx >= 0, tx < s, out=valid)
+            np.logical_and(valid, ty >= 0, out=valid)
+            np.logical_and(valid, ty < s, out=valid)
+            np.logical_not(valid, out=nvalid)
+            np.multiply(ty, s, out=tid)
+            np.add(tid, tx, out=tid)
+            np.copyto(tid, 0, where=nvalid)
+            np.take(counts, tid, out=habs)
+            np.copyto(habs, 0, where=nvalid)
+            seg_cnt = habs
+            total = int(seg_cnt.sum())
+            if total == 0:
+                continue
+            i_idx = np.repeat(arange_n, seg_cnt)
+            base = np.cumsum(seg_cnt) - seg_cnt
+            within = np.arange(total) - np.repeat(base, seg_cnt)
+            j_idx = order[np.repeat(starts[tid], seg_cnt) + within]
+            keep = i_idx != j_idx
+            i_idx, j_idx = i_idx[keep], j_idx[keep]
+            d = pos[i_idx] - pos[j_idx]
+            r2n = (d * d).sum(axis=1) + _EPS2
+            sc = ck2 * masses[i_idx] * masses[j_idx] / r2n
+            outx += np.bincount(i_idx, weights=sc * d[:, 0], minlength=n)
+            outy += np.bincount(i_idx, weights=sc * d[:, 1], minlength=n)
+    out[:, 0] = outx
+    out[:, 1] = outy
+    return out
+
+
+def _repulsive_forces_bh_reference(
+    pos: np.ndarray,
+    masses: Optional[np.ndarray] = None,
+    c: float = DEFAULT_C,
+    k: float = 1.0,
+    leaf_target: float = 2.0,
+    max_level: int = 12,
+) -> np.ndarray:
+    """Pre-optimisation Barnes–Hut kernel (fresh ``where``/``repeat``
+    temporaries in each of the 36 passes), kept temporarily for the
+    bit-exactness tests."""
+    pos = np.asarray(pos, dtype=np.float64)
+    n = pos.shape[0]
+    if pos.ndim != 2 or (n and pos.shape[1] != 2):
+        raise EmbeddingError(f"pos must be (n, 2), got {pos.shape}")
+    if masses is None:
+        masses = np.ones(n)
+    masses = np.asarray(masses, dtype=np.float64)
+    if n <= _EXACT_CUTOFF:
+        return repulsive_forces_exact(pos, masses, c, k)
+
+    lo = pos.min(axis=0)
+    span = float(max((pos.max(axis=0) - lo).max(), 1e-12)) * (1 + 1e-9)
+    ck2 = c * k * k
+
+    finest = min(max_level, max(2, math.ceil(math.log(n / leaf_target, 4))))
+    out = np.zeros((n, 2))
+
     cell = np.clip(((pos - lo) / span * (1 << finest)).astype(np.int64),
                    0, (1 << finest) - 1)
 
@@ -106,7 +303,6 @@ def repulsive_forces_bh(
                         out[:, 0] += scale * ddx
                         out[:, 1] += scale * ddy
 
-    # exact near field over the finest-level 3x3 neighbourhood
     s = 1 << finest
     cx, cy = cell[:, 0], cell[:, 1]
     cid = cy * s + cx

@@ -118,8 +118,10 @@ class CSRGraph:
             first = np.ones(key.shape[0], dtype=bool)
             first[1:] = key[1:] != key[:-1]
             group = np.cumsum(first) - 1
-            wsum = np.zeros(int(group[-1]) + 1, dtype=np.float64)
-            np.add.at(wsum, group, weights)
+            # bincount accumulates in slot order like np.add.at (bit-
+            # identical merge) but runs as one C loop, not a buffered
+            # per-element scatter
+            wsum = np.bincount(group, weights=weights, minlength=int(group[-1]) + 1)
             edges = np.column_stack([lo[first], hi[first]])
             weights = wsum
         # symmetrise: emit both directions then bucket by source

@@ -9,6 +9,7 @@ from repro.errors import GraphError
 from repro.graph import CSRGraph
 from repro.graph.generators import grid2d, random_delaunay
 from repro.graph.io import (
+    _read_metis_reference,
     read_coords,
     read_edgelist,
     read_metis,
@@ -75,6 +76,71 @@ class TestMetis:
         p = tmp_path / "g.graph"
         write_metis(g, p)
         assert read_metis(p) == g
+
+
+class TestMetisStreaming:
+    """The chunked streaming reader: parity with the pre-streaming
+    reference at every chunk boundary, and the trailing-blank fix."""
+
+    def _text(self, g, **kw):
+        buf = io.StringIO()
+        write_metis(g, buf, **kw)
+        return buf.getvalue()
+
+    @pytest.mark.parametrize("chunk_lines", [1, 3, 64, 65536])
+    def test_chunk_boundaries_match_reference(self, chunk_lines):
+        g = random_delaunay(150, seed=2).graph
+        for kw in (
+            {},
+            {"vertex_weights": True},
+            {"edge_weights": True},
+            {"vertex_weights": True, "edge_weights": True},
+        ):
+            text = self._text(g, **kw)
+            got = read_metis(io.StringIO(text), chunk_lines=chunk_lines)
+            ref = _read_metis_reference(io.StringIO(text))
+            assert got == ref
+
+    def test_accepts_trailing_blanks_and_comments(self):
+        # the old strict len(lines)-1 != n check only survived trailing
+        # blanks because it pre-stripped them; the streaming reader must
+        # accept blanks and comments anywhere after the last vertex line
+        text = "3 2\n2\n1 3\n2\n\n   \n% trailing comment\n\n"
+        g = read_metis(io.StringIO(text))
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_interior_comments_and_blanks(self):
+        text = "% head\n3 2\n\n2\n% mid\n1 3\n\n2\n"
+        g = read_metis(io.StringIO(text))
+        assert sorted(g.neighbors(1).tolist()) == [0, 2]
+
+    def test_rejects_extra_vertex_lines(self):
+        with pytest.raises(GraphError):
+            read_metis(io.StringIO("2 1\n2\n1\n1\n"))
+
+    def test_rejects_out_of_range_neighbor(self):
+        with pytest.raises(GraphError):
+            read_metis(io.StringIO("2 1\n3\n1\n"))
+
+    def test_rejects_non_numeric_token(self):
+        with pytest.raises(GraphError):
+            read_metis(io.StringIO("2 1\n2\nx\n"))
+
+    def test_rejects_fractional_neighbor_id(self):
+        with pytest.raises(GraphError):
+            read_metis(io.StringIO("2 1\n2\n1.5\n"))
+
+    def test_rejects_bad_chunk_lines(self):
+        with pytest.raises(GraphError):
+            read_metis(io.StringIO("1 0\n\n"), chunk_lines=0)
+
+    def test_no_neighbors_vertex_weight_only(self):
+        # fmt=10 line with just the weight: counts as a vertex line
+        text = "2 0 10\n5\n7\n"
+        g = read_metis(io.StringIO(text))
+        assert g.num_edges == 0
+        assert g.vwgt.tolist() == [5.0, 7.0]
 
 
 class TestEdgeList:
