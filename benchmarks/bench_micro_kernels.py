@@ -59,6 +59,7 @@ from repro.embed.lattice import (  # noqa: E402
     repulsive_forces_lattice,
 )
 from repro.embed.quadtree import BHWorkspace, repulsive_forces_bh  # noqa: E402
+from repro.geometric.kway import kway_geometric_assign  # noqa: E402
 from repro.graph.generators import grid2d  # noqa: E402
 from repro.graph.io import read_metis  # noqa: E402
 from repro.parallel import ZERO_COST, procs_available, run_spmd  # noqa: E402
@@ -72,6 +73,7 @@ TIMED_KERNELS = (
     "matching/hem-vec",
     "matching/validate",
     "coarsen/contract",
+    "kway/geom-assign",
     "csr/dedupe-merge",
     "engine/delivery-defensive",
     "engine/delivery-readonly",
@@ -181,6 +183,12 @@ def run_benchmarks(quick: bool = False, repeats: int = 5,
 
     # ---- contraction --------------------------------------------------
     record("coarsen/contract", lambda: contract(g, match))
+
+    # ---- direct k-way geometric assignment ----------------------------
+    # balanced spherical K-means on the mesh coordinates (K = 8 cells);
+    # the assignment half of the kway-geometric partition stage
+    record("kway/geom-assign",
+           lambda: kway_geometric_assign(g, mesh.coords, 8, seed=7))
 
     # ---- scatter micro-checks (the np.add.at -> bincount satellites) --
     # Same shapes as the two replaced call sites: csr.py's duplicate-

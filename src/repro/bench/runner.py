@@ -49,10 +49,15 @@ class RunRecord:
     collective_ops: Dict[str, int] = field(default_factory=dict)
     #: words moved (point-to-point + collective contributions)
     total_words: float = 0.0
+    #: number of parts in the labelling (2 = bisection cells)
+    parts: int = 2
+    #: vertex cost model keying the balance constraint
+    cost_model: str = "unit"
 
     @property
     def key(self) -> str:
-        return f"{self.method}/{self.graph}/P{self.p}"
+        base = f"{self.method}/{self.graph}/P{self.p}"
+        return base if self.parts == 2 else f"{base}/K{self.parts}"
 
 
 #: method name -> needs_coords flag (a registry view kept for
@@ -62,21 +67,25 @@ METHODS: Dict[str, bool] = {
 }
 
 
-def _cache_key(method: str, graph: str, p: int, backend: str = "sim") -> str:
-    # v6: _execute became registry-driven dispatch (MethodSpec-based) —
-    # the dispatch path changed but the per-cell results did not; the
-    # bump only guards against stale v5 records whose sequential
-    # geometric cells lacked timings/extras.  Non-sim backends get their
-    # own cache cells; sim keys are unchanged so existing caches stay
-    # valid.
-    raw = f"{method}|{graph}|{p}|{BENCH_SCALE}|{BENCH_SEED}|v6"
+def _cache_key(method: str, graph: str, p: int, backend: str = "sim",
+               parts: int = 2, cost_model: str = "unit") -> str:
+    # v7: records gained parts/cost_model fields (k-way sweep cells) —
+    # the bump invalidates v6 records, whose JSON lacks the new keys.
+    # Default bisection cells keep a stable key shape; k-way and
+    # non-unit-cost cells get their own suffixed cells.
+    raw = f"{method}|{graph}|{p}|{BENCH_SCALE}|{BENCH_SEED}|v7"
     if backend != "sim":
         raw += f"|{backend}"
+    if parts != 2:
+        raw += f"|k{parts}"
+    if cost_model != "unit":
+        raw += f"|{cost_model}"
     return hashlib.sha1(raw.encode()).hexdigest()[:20]
 
 
 def _execute(method: str, graph_name: str, p: int,
-             backend: str = "sim") -> PartitionResult:
+             backend: str = "sim", parts: int = 2,
+             cost_model: str = "unit") -> PartitionResult:
     if method not in METHODS:
         raise ConfigError(
             f"unknown bench method {method!r}; known: {list(METHODS)}"
@@ -85,25 +94,32 @@ def _execute(method: str, graph_name: str, p: int,
     gg = bench_graph(graph_name)
     g = gg.graph
     coords = bench_coords(graph_name) if spec.needs_coords else None
-    if spec.traceable:
+    if spec.traceable and (parts == 2 or spec.kway):
         # parallel methods: the engine seed varies with P (Tables 2–3
         # report cut ranges across P)
         return run_parallel(spec, g, p, coords=coords,
                             seed=BENCH_SEED ^ (p * 7919), machine=MACHINE,
-                            backend=backend)
+                            backend=backend, k=parts, cost_model=cost_model)
     if backend != "sim":
         raise ConfigError(
-            f"method {method!r} is sequential-only; backend={backend!r} "
-            "needs a distributed implementation"
+            f"method {method!r} has no distributed k-way path; "
+            f"backend={backend!r} needs one"
         )
+    if parts != 2:
+        # bisection methods reach K parts through recursive bisection
+        from ..core.kway import partition_kway
+
+        return partition_kway(g, parts, spec, coords=coords,
+                              seed=BENCH_SEED, cost_model=cost_model)
     # sequential quality references (P ignored; Table 2)
     return spec.sequential(g, coords, seed=BENCH_SEED)
 
 
 def run_method(method: str, graph_name: str, p: int = 1,
-               use_cache: bool = True, backend: str = "sim") -> RunRecord:
+               use_cache: bool = True, backend: str = "sim",
+               parts: int = 2, cost_model: str = "unit") -> RunRecord:
     """Run (or fetch from cache) one cell of the evaluation grid."""
-    key = _cache_key(method, graph_name, p, backend)
+    key = _cache_key(method, graph_name, p, backend, parts, cost_model)
     if use_cache and key in _MEMO:
         return _MEMO[key]
     path = _CACHE_DIR / f"{key}.json"
@@ -111,7 +127,7 @@ def run_method(method: str, graph_name: str, p: int = 1,
         rec = RunRecord(**json.loads(path.read_text()))
         _MEMO[key] = rec
         return rec
-    res = _execute(method, graph_name, p, backend)
+    res = _execute(method, graph_name, p, backend, parts, cost_model)
     stats = res.extras.get("comm_stats")
     rec = RunRecord(
         method=method,
@@ -131,6 +147,8 @@ def run_method(method: str, graph_name: str, p: int = 1,
             if stats is not None else {}
         ),
         total_words=float(stats.total_words) if stats is not None else 0.0,
+        parts=parts,
+        cost_model=cost_model,
     )
     if use_cache:
         _CACHE_DIR.mkdir(exist_ok=True)
@@ -139,13 +157,15 @@ def run_method(method: str, graph_name: str, p: int = 1,
     return rec
 
 
-def sweep(methods: List[str], graphs: List[str], ps: List[int]) -> List[RunRecord]:
+def sweep(methods: List[str], graphs: List[str], ps: List[int],
+          parts: int = 2, cost_model: str = "unit") -> List[RunRecord]:
     """Run the full grid (cached) and return all records."""
     out = []
     for gname in graphs:
         for method in methods:
             for p in ps:
-                out.append(run_method(method, gname, p))
+                out.append(run_method(method, gname, p, parts=parts,
+                                      cost_model=cost_model))
     return out
 
 

@@ -27,12 +27,11 @@ import sys
 import time
 from typing import List, Optional
 
-import numpy as np
-
 from .core.config import ScalaPartConfig
+from .core.cost import cost_model_names
+from .core.kway import hierarchical_kway, parse_hierarchy, partition_kway
 from .core.methods import cli_choices, get_method
 from .core.parallel import run_parallel
-from .core.recursive import recursive_bisection
 from .embed.multilevel import hu_layout, multilevel_embedding
 from .errors import ReproError
 from .graph.io import read_coords, read_metis, write_coords
@@ -52,13 +51,20 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph", help="input graph (METIS format)")
     p.add_argument("--method", default="scalapart", choices=cli_choices())
     p.add_argument("--k", "--parts", type=int, default=2, dest="k",
-                   help="number of parts (k > 2 routes through recursive "
-                        "bisection with the chosen method)")
+                   help="number of parts (native k-way methods split "
+                        "directly; bisection methods route through "
+                        "recursive bisection + k-way refinement)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--coords", help="coordinate file for coordinate-based "
                                     "methods (default: compute a Hu layout)")
     p.add_argument("--out", help="write part ids here (default: stdout)")
     p.add_argument("--max-imbalance", type=float, default=0.05)
+    p.add_argument("--cost-model", default="unit", dest="cost_model",
+                   choices=cost_model_names(),
+                   help="vertex cost model for the balance constraint")
+    p.add_argument("--hierarchy", metavar="K1xK2",
+                   help="hierarchical K = K1xK2 partitioning (e.g. 2x4; "
+                        "sequential backend only, overrides --parts)")
     p.add_argument("--backend", default="seq", choices=["seq", "sim", "procs"],
                    help="executor: seq = sequential entry point (default), "
                         "sim = SPMD simulator, procs = one worker process "
@@ -83,6 +89,12 @@ def _build_parser() -> argparse.ArgumentParser:
     t.add_argument("graph", help="input graph (METIS format)")
     t.add_argument("--method", default="scalapart",
                    choices=cli_choices(traceable_only=True))
+    t.add_argument("--parts", "--k", type=int, default=2, dest="k",
+                   help="number of parts (k != 2 needs a native k-way "
+                        "method, e.g. kway-geometric)")
+    t.add_argument("--cost-model", default="unit", dest="cost_model",
+                   choices=cost_model_names(),
+                   help="vertex cost model for the balance constraint")
     t.add_argument("--nranks", type=int, default=16,
                    help="virtual ranks to simulate")
     t.add_argument("--backend", default="sim", choices=["sim", "procs"],
@@ -109,6 +121,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         "file is given")
     c.add_argument("--methods", default="scalapart",
                    help="comma-separated CLI method names to sweep")
+    c.add_argument("--parts", "--k", type=int, default=2, dest="k",
+                   help="number of parts (k != 2 needs native k-way "
+                        "methods)")
     c.add_argument("--nranks", type=int, default=8)
     c.add_argument("--plans", type=int, default=4,
                    help="seeded fault plans per method")
@@ -163,52 +178,79 @@ def _load_coords(args, graph):
     return hu_layout(graph, seed=args.seed)
 
 
+def _quality(res, k: int) -> str:
+    """stderr quality summary: 2-way keeps the historical ``cut=`` keys,
+    k-way uses ``kway_cut=`` so scripts can tell the two apart."""
+    if k > 2:
+        return (f"kway_cut={res.cut_size} "
+                f"kway_imbalance={res.imbalance:.4f}")
+    return f"cut={res.cut_size} imbalance={res.imbalance:.4f}"
+
+
+def _write_parts(parts, out: Optional[str]) -> None:
+    """One label per line (METIS ``.part`` convention) — the single
+    writer every partition path shares, 2-way and k-way alike."""
+    text = "\n".join(str(int(x)) for x in parts) + "\n"
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+
+
 def _cmd_partition(args) -> int:
     graph = read_metis(args.graph)
     spec = get_method(args.method)
     coords = _load_coords(args, graph) if spec.needs_coords else None
     t0 = time.perf_counter()
-    if args.backend != "seq":
-        if args.k != 2:
+    k = args.k
+    if args.hierarchy:
+        if args.backend != "seq":
             raise ReproError(
-                f"--backend {args.backend} supports bisection only "
-                f"(got --k {args.k}); the k-way path is sequential"
+                "--hierarchy runs on the sequential backend only "
+                f"(got --backend {args.backend})"
             )
+        k1, k2 = parse_hierarchy(args.hierarchy)
+        k = k1 * k2
+        res = hierarchical_kway(
+            graph, k1, k2, spec, coords=coords, seed=args.seed,
+            cost_model=args.cost_model,
+        )
+    elif args.backend != "seq":
         if spec.distributed is None:
             raise ReproError(
                 f"method {spec.name!r} has no distributed implementation "
                 f"for --backend {args.backend}"
             )
+        if k != 2 and not spec.kway:
+            raise ReproError(
+                f"--backend {args.backend} with --parts {k} needs a "
+                f"native k-way method (e.g. kway-geometric); "
+                f"{spec.name!r} reaches k > 2 through recursive "
+                f"bisection on the sequential backend only"
+            )
         res = run_parallel(spec, graph, args.nranks, coords=coords,
-                           seed=args.seed, backend=args.backend)
-        parts = res.bisection.side.astype(np.int64)
-        quality = (f"cut={res.bisection.cut_size} "
-                   f"imbalance={res.bisection.imbalance:.4f}")
+                           seed=args.seed, backend=args.backend,
+                           k=k, cost_model=args.cost_model)
         pids = res.extras.get("pids")
         if pids is not None:
             print(f"# backend=procs nranks={args.nranks} "
                   f"pids={','.join(str(p) for p in pids)} "
                   f"distinct_pids={len(set(pids))}", file=sys.stderr)
-    elif args.k == 2:
+    elif k == 2 and args.cost_model == "unit":
         res = spec.sequential(graph, coords, seed=args.seed)
-        parts = res.bisection.side.astype(np.int64)
-        quality = (f"cut={res.bisection.cut_size} "
-                   f"imbalance={res.bisection.imbalance:.4f}")
     else:
-        kres = recursive_bisection(graph, args.k, args.method, coords=coords,
-                                   seed=args.seed)
-        parts = kres.parts
-        quality = (f"kway_cut={kres.cut_size} "
-                   f"kway_imbalance={kres.imbalance:.4f}")
+        res = partition_kway(
+            graph, k, spec, coords=coords, seed=args.seed,
+            cost_model=args.cost_model, max_imbalance=args.max_imbalance,
+        )
     dt = time.perf_counter() - t0
-    text = "\n".join(str(int(x)) for x in parts) + "\n"
-    if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(text)
-    else:
-        sys.stdout.write(text)
-    print(f"# method={args.method} k={args.k} {quality} time={dt:.3f}s",
-          file=sys.stderr)
+    _write_parts(res.parts, args.out)
+    hier = f" hierarchy={args.hierarchy}" if args.hierarchy else ""
+    cm = (f" cost_model={args.cost_model}"
+          if args.cost_model != "unit" else "")
+    print(f"# method={args.method} k={k}{hier}{cm} {_quality(res, k)} "
+          f"time={dt:.3f}s", file=sys.stderr)
     return 0
 
 
@@ -265,14 +307,14 @@ def _cmd_trace(args) -> int:
     if args.block_size is not None:
         cfg = ScalaPartConfig(block_size=args.block_size)
     res = run_parallel(spec, graph, args.nranks, coords=coords, config=cfg,
-                       seed=args.seed, backend=args.backend)
+                       seed=args.seed, backend=args.backend,
+                       k=args.k, cost_model=args.cost_model)
     trace: SpmdResult = res.extras["trace"]
     _print_trace_report(trace, res.method)
     if trace.pids is not None:
         print(f"# pids={','.join(str(p) for p in trace.pids)} "
               f"distinct_pids={len(set(trace.pids))}", file=sys.stderr)
-    print(f"cut={res.bisection.cut_size} "
-          f"imbalance={res.bisection.imbalance:.4f}", file=sys.stderr)
+    print(_quality(res, args.k), file=sys.stderr)
     if args.profile:
         write_trace_jsonl(trace, args.profile)
         print(f"# trace written to {args.profile}", file=sys.stderr)
@@ -313,6 +355,11 @@ def _cmd_chaos(args) -> int:
                 f"method {spec.name!r} has no distributed implementation "
                 f"to inject faults into"
             )
+        if args.k != 2 and not spec.kway:
+            raise ReproError(
+                f"--parts {args.k} needs a native k-way method; "
+                f"{spec.name!r} is a bisection method"
+            )
         coords = None
         if spec.needs_coords:
             coords = gcoords if gcoords is not None else hu_layout(
@@ -330,7 +377,7 @@ def _cmd_chaos(args) -> int:
                 res = run_parallel(
                     spec, graph, args.nranks, coords=coords,
                     seed=args.seed, faults=plan, retry=retry,
-                    max_steps=args.max_steps,
+                    max_steps=args.max_steps, k=args.k,
                 )
             except ReproError as exc:
                 run["status"] = "failed"
@@ -339,8 +386,8 @@ def _cmd_chaos(args) -> int:
                 rec = res.extras.get("recovery")
                 recovered = bool(rec and rec.get("recovered"))
                 run["status"] = "recovered" if recovered else "ok"
-                run["cut"] = int(res.bisection.cut_size)
-                run["imbalance"] = float(res.bisection.imbalance)
+                run["cut"] = int(res.cut_size)
+                run["imbalance"] = float(res.imbalance)
                 if rec is not None:
                     run["recovery"] = rec
             runs.append(run)
@@ -351,6 +398,7 @@ def _cmd_chaos(args) -> int:
         "graph": gname,
         "vertices": graph.num_vertices,
         "nranks": args.nranks,
+        "parts": args.k,
         "seed": args.seed,
         "plans_per_method": args.plans,
         "rates": rates,

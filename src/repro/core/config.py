@@ -52,6 +52,14 @@ class ScalaPartConfig:
     max_imbalance: float = 0.05
     #: sample size for the parallel centerpoint computation
     centerpoint_sample: int = 1000
+    #: Lloyd iterations of the direct k-way geometric assignment
+    kway_lloyd_iters: int = 4
+    #: bias-balancing iterations of the direct k-way assignment
+    kway_balance_iters: int = 48
+    #: greedy boundary passes of the k-way refinement
+    kway_refine_passes: int = 8
+    #: pairwise-FM rounds of the k-way refinement (0 disables)
+    kway_pairwise_rounds: int = 3
 
     def __post_init__(self) -> None:
         if self.coarsest_size < 1:
@@ -70,6 +78,11 @@ class ScalaPartConfig:
             raise ConfigError("strip_factor must be positive")
         if not (0 <= self.max_imbalance < 1):
             raise ConfigError("max_imbalance must be in [0, 1)")
+        if (self.kway_lloyd_iters < 0 or self.kway_refine_passes < 0
+                or self.kway_pairwise_rounds < 0):
+            raise ConfigError("k-way iteration counts must be nonnegative")
+        if self.kway_balance_iters < 1:
+            raise ConfigError("kway_balance_iters must be >= 1")
 
     def with_options(self, **kw) -> "ScalaPartConfig":
         """Copy with some fields replaced."""

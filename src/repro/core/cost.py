@@ -1,0 +1,157 @@
+"""Pluggable per-vertex cost models for k-way balance.
+
+The paper balances parts by vertex weight, but large-scale consumers
+(hierarchical node x core partitioners, heterogeneous simulations)
+balance against whatever quantity actually loads a processor: vertex
+weight, work proportional to incident edges, or a user-measured cost
+array.  A :class:`CostModel` maps a graph to one float64 cost per
+vertex; every k-way balance metric in the library (``kway_imbalance``,
+the refinement balance constraint, the geometric assignment targets)
+is computed against that array.
+
+The default :class:`UnitCost` charges one cost unit per unit of vertex
+weight — on an unweighted graph that is one unit per vertex, and on a
+weighted graph the balance follows ``graph.vwgt`` (so weighted graphs
+are *never* balanced by raw vertex counts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "ArrayCost",
+    "CostModel",
+    "DegreeCost",
+    "UnitCost",
+    "cost_model_names",
+    "get_cost_model",
+    "resolve_costs",
+]
+
+
+class CostModel:
+    """Maps a graph to a positive per-vertex cost array.
+
+    Subclasses override :meth:`vertex_costs`; ``name`` identifies the
+    model in CLI flags, bench records, and cache keys.
+    """
+
+    name: str = "custom"
+
+    def vertex_costs(self, graph: CSRGraph) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class UnitCost(CostModel):
+    """One cost unit per unit of vertex weight (the default).
+
+    Equals per-vertex counts on unweighted graphs; on weighted graphs
+    the balance target follows ``graph.vwgt``.
+    """
+
+    name = "unit"
+
+    def vertex_costs(self, graph: CSRGraph) -> np.ndarray:
+        return graph.vwgt
+
+
+class DegreeCost(CostModel):
+    """Vertex weight plus incident edge weight.
+
+    Models a solver whose per-vertex work is compute (vwgt) plus halo
+    traffic proportional to the weighted degree.
+    """
+
+    name = "degree"
+
+    def vertex_costs(self, graph: CSRGraph) -> np.ndarray:
+        return graph.vwgt + graph.weighted_degrees()
+
+
+class ArrayCost(CostModel):
+    """User-supplied per-vertex cost array (measured load, etc.)."""
+
+    name = "array"
+
+    def __init__(self, costs: Sequence[float]):
+        arr = np.ascontiguousarray(costs, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ConfigError(
+                f"cost array must be 1-D, got shape {arr.shape}"
+            )
+        if arr.size and (not np.isfinite(arr).all() or arr.min() < 0):
+            raise ConfigError("cost array entries must be finite and >= 0")
+        self._costs = arr
+
+    def vertex_costs(self, graph: CSRGraph) -> np.ndarray:
+        if self._costs.shape != (graph.num_vertices,):
+            raise ConfigError(
+                f"cost array has {self._costs.size} entries for a graph "
+                f"with {graph.num_vertices} vertices"
+            )
+        return self._costs
+
+
+COST_MODELS: Dict[str, CostModel] = {
+    UnitCost.name: UnitCost(),
+    DegreeCost.name: DegreeCost(),
+}
+
+CostModelLike = Union[None, str, CostModel, Sequence[float], np.ndarray]
+
+
+def cost_model_names() -> List[str]:
+    """Registered model names, in registration order (CLI choices)."""
+    return list(COST_MODELS)
+
+
+def get_cost_model(model: CostModelLike) -> CostModel:
+    """Coerce ``model`` to a :class:`CostModel`.
+
+    Accepts ``None`` (-> :class:`UnitCost`), a registered name, a
+    :class:`CostModel` instance, or a per-vertex array (-> wrapped in
+    :class:`ArrayCost`).
+    """
+    if model is None:
+        return COST_MODELS[UnitCost.name]
+    if isinstance(model, CostModel):
+        return model
+    if isinstance(model, str):
+        try:
+            return COST_MODELS[model]
+        except KeyError:
+            raise ConfigError(
+                f"unknown cost model {model!r}; "
+                f"choose from {cost_model_names()}"
+            ) from None
+    return ArrayCost(model)
+
+
+def resolve_costs(
+    graph: CSRGraph, model: CostModelLike = None
+) -> Optional[np.ndarray]:
+    """Per-vertex costs for ``graph`` under ``model``.
+
+    Returns ``None`` for the default unit model — the metric layer
+    treats that as "balance by ``graph.vwgt``" without materialising a
+    second copy of the weight array.
+    """
+    cm = get_cost_model(model)
+    if isinstance(cm, UnitCost):
+        return None
+    costs = np.ascontiguousarray(cm.vertex_costs(graph), dtype=np.float64)
+    if costs.shape != (graph.num_vertices,):
+        raise ConfigError(
+            f"cost model {cm.name!r} returned shape {costs.shape} for a "
+            f"graph with {graph.num_vertices} vertices"
+        )
+    return costs

@@ -46,7 +46,13 @@ from ..errors import ConfigError
 from ..geometric.gmt import GMTResult, g7, g7_nl, g30
 from ..results import PartitionResult
 from .scalapart import scalapart, sp_pg7_nl
-from .stages import EMBED_STAGE, GEOMETRIC_STAGE, STRIP_REFINE_STAGE, as_coords
+from .stages import (
+    EMBED_STAGE,
+    GEOMETRIC_STAGE,
+    KWAY_GEOMETRIC_STAGE,
+    STRIP_REFINE_STAGE,
+    as_coords,
+)
 
 __all__ = [
     "MethodSpec",
@@ -86,6 +92,10 @@ class MethodSpec:
     balance_bound: Optional[float] = None
     #: does the method take a :class:`ScalaPartConfig`?
     accepts_config: bool = False
+    #: native k-way method: its entry points accept ``k`` and
+    #: ``cost_model`` keywords and label vertices in ``[0, k)``
+    #: (bisection methods reach k > 2 via recursive bisection instead)
+    kway: bool = False
     #: one-line description (README method table, ``--help`` text)
     description: str = ""
 
@@ -112,6 +122,7 @@ def register_method(
     default_max_imbalance: Optional[float] = None,
     balance_bound: Optional[float] = None,
     accepts_config: bool = False,
+    kway: bool = False,
     description: str = "",
 ):
     """Decorator: register the decorated sequential entry point.
@@ -131,6 +142,7 @@ def register_method(
             default_max_imbalance=default_max_imbalance,
             balance_bound=balance_bound,
             accepts_config=accepts_config,
+            kway=kway,
             description=description,
         )
         if spec.name in METHOD_REGISTRY:
@@ -262,6 +274,25 @@ def _dist_rcb(comm, graph, *, coords=None, config=None, seed=None,
     return (yield from dist_rcb_bisect(comm, graph, as_coords(coords)))
 
 
+def _dist_kway_geometric(comm, graph, *, coords=None, config=None, seed=None,
+                         max_imbalance=None, k=2, cost_model=None):
+    """Direct k-way: embed (unless coords given), K-cell assignment,
+    root-side greedy boundary refinement."""
+    from .cost import resolve_costs
+
+    costs = resolve_costs(graph, cost_model)
+    info = {}
+    if coords is None:
+        emb = yield from EMBED_STAGE.run_dist(comm, graph, None, config, seed)
+        info = {**emb.info, "pos": emb.coords}
+        coords = emb
+    parts, kinfo = yield from KWAY_GEOMETRIC_STAGE.run_dist(
+        comm, graph, coords, config, seed,
+        k=k, costs=costs, max_imbalance=max_imbalance,
+    )
+    return parts, {**info, **kinfo}
+
+
 # ----------------------------------------------------------------------
 # registrations (sequential entry points with normalised signatures)
 # ----------------------------------------------------------------------
@@ -358,3 +389,18 @@ def _g7_nl(graph, coords=None, *, config=None, seed=None):
     t0 = time.perf_counter()
     res = g7_nl(graph, as_coords(coords), seed=seed)
     return _wrap_gmt(res, "G7-NL", time.perf_counter() - t0)
+
+
+@register_method(
+    "KWay-Geometric", cli_name="kway-geometric",
+    distributed=_dist_kway_geometric, seed_salt=5,
+    default_max_imbalance=0.05, balance_bound=0.10,
+    accepts_config=True, kway=True,
+    description="direct k-way: K centroid cells on the sphere + boundary refine",
+)
+def _kway_geometric(graph, coords=None, *, config=None, seed=None, k=2,
+                    cost_model=None, max_imbalance=None):
+    from .kway import kway_geometric
+
+    return kway_geometric(graph, coords, config=config, seed=seed, k=k,
+                          cost_model=cost_model, max_imbalance=max_imbalance)

@@ -46,13 +46,14 @@ import numpy as np
 
 from ..errors import CommError, ConfigError, PartitionError, ReproError
 from ..graph.csr import CSRGraph
-from ..graph.partition import Bisection
+from ..graph.partition import Bisection, KWayPartition
 from ..parallel.engine import run_spmd
 from ..parallel.faults import FaultPlan
 from ..parallel.machine import MachineModel, QDR_CLUSTER
 from ..parallel.trace import SpmdResult
 from ..rng import SeedLike, derive_seed
 from .config import ScalaPartConfig
+from .cost import resolve_costs
 from .methods import MethodSpec, get_method, recovery_ladder
 from .stages import as_coords
 from ..results import PartitionResult
@@ -113,6 +114,10 @@ def _package(
     res: SpmdResult,
     method: str,
     max_imbalance: Optional[float] = None,
+    *,
+    k: int = 2,
+    costs=None,
+    is_kway: bool = False,
 ) -> PartitionResult:
     """Package an SPMD run; validate balance when a bound is declared.
 
@@ -120,9 +125,22 @@ def _package(
     through by :func:`run_parallel`); ``None`` skips validation.
     ``simulated`` reflects the producing backend: the procs backend's
     ``seconds`` are measured wall time, not modelled cluster time.
+    K-way methods (``is_kway``) return label arrays in ``[0, k)``;
+    their results carry a :class:`KWayPartition` (plus a
+    :class:`Bisection` view when ``k == 2``, so 2-way harnesses see
+    them like any other method).
     """
     side, info = res.values[0]
-    bis = Bisection(graph, np.asarray(side, dtype=np.int8))
+    bis = None
+    kway = None
+    if is_kway:
+        kway = KWayPartition(
+            graph, np.asarray(side, dtype=np.int64), k, costs=costs
+        )
+        if k <= 2:
+            bis = kway.to_bisection()
+    else:
+        bis = Bisection(graph, np.asarray(side, dtype=np.int8))
     # phases are hierarchical ("embed/refresh" ⊂ "embed"): report every
     # label the run used plus the aggregated top-level stages the paper's
     # figures consume
@@ -145,6 +163,7 @@ def _package(
         extras["pids"] = list(res.pids)
     out = PartitionResult(
         bisection=bis,
+        kway=kway,
         method=method,
         seconds=res.elapsed,
         simulated=(res.backend == "sim"),
@@ -173,15 +192,20 @@ def _engine_attempt(
     max_sim_seconds,
     backend="sim",
     op_timeout=None,
+    k=2,
+    cost_model=None,
 ) -> PartitionResult:
     """One engine run of ``spec`` on ``nranks`` ranks, packaged+validated."""
     target = (max_imbalance if max_imbalance is not None
               else spec.default_max_imbalance)
+    extra_kwargs = {}
+    if spec.kway:
+        extra_kwargs = {"k": k, "cost_model": cost_model}
 
     def prog(comm):
         return (yield from spec.distributed(
             comm, graph, coords=coords, config=config, seed=seed,
-            max_imbalance=target,
+            max_imbalance=target, **extra_kwargs,
         ))
 
     engine_seed = 0 if spec.seed_salt is None else derive_seed(seed,
@@ -190,7 +214,9 @@ def _engine_attempt(
                    copy_mode=copy_mode, sanitize=sanitize, faults=faults,
                    max_steps=max_steps, max_sim_seconds=max_sim_seconds,
                    backend=backend, op_timeout=op_timeout)
-    return _package(graph, res, spec.name, max_imbalance=spec.balance_bound)
+    costs = resolve_costs(graph, cost_model) if spec.kway else None
+    return _package(graph, res, spec.name, max_imbalance=spec.balance_bound,
+                    k=k, costs=costs, is_kway=spec.kway)
 
 
 def _layout_coords(graph: CSRGraph, seed: SeedLike):
@@ -228,6 +254,8 @@ def _run_recovering(
     max_sim_seconds,
     backend="sim",
     op_timeout=None,
+    k=2,
+    cost_model=None,
 ) -> PartitionResult:
     """Descend the recovery ladder until an attempt yields a valid cut."""
     attempts: List[Dict[str, Any]] = []
@@ -242,8 +270,8 @@ def _run_recovering(
     def finish(out: PartitionResult, rec: Dict[str, Any],
                aspec: MethodSpec) -> PartitionResult:
         rec["status"] = "ok"
-        rec["cut"] = int(out.bisection.cut_size)
-        rec["imbalance"] = float(out.bisection.imbalance)
+        rec["cut"] = int(out.cut_size)
+        rec["imbalance"] = float(out.imbalance)
         attempts.append(rec)
         out.extras["recovery"] = {
             "attempts": attempts,
@@ -271,6 +299,7 @@ def _run_recovering(
                 max_steps=_scaled(max_steps, scale),
                 max_sim_seconds=_scaled(max_sim_seconds, scale),
                 backend=backend, op_timeout=op_timeout,
+                k=k, cost_model=cost_model,
             )
             out.validate(bound_for(aspec))
         except (CommError, PartitionError) as exc:
@@ -293,10 +322,23 @@ def _run_recovering(
             if aspec.needs_coords:
                 scoords = (coords if coords is not None
                            else _layout_coords(graph, aseed))
-            kwargs: Dict[str, Any] = {"seed": aseed}
-            if aspec.accepts_config:
-                kwargs["config"] = config
-            out = aspec.sequential(graph, scoords, **kwargs)
+            if k != 2:
+                # k-way fallback: any bisection method reaches K parts
+                # via recursive bisection + the shared k-way refinement
+                from .kway import partition_kway
+
+                out = partition_kway(
+                    graph, k, aspec, coords=scoords,
+                    config=config if aspec.accepts_config else None,
+                    seed=aseed, cost_model=cost_model,
+                    max_imbalance=(max_imbalance if max_imbalance is not None
+                                   else 0.05),
+                )
+            else:
+                kwargs: Dict[str, Any] = {"seed": aseed}
+                if aspec.accepts_config:
+                    kwargs["config"] = config
+                out = aspec.sequential(graph, scoords, **kwargs)
             out.validate(bound_for(aspec))
         except ReproError as exc:
             rec["status"] = "failed"
@@ -307,8 +349,9 @@ def _run_recovering(
         return finish(out, rec, aspec)
 
     # stage 1: the primary run plus retries at full rank count
-    for k in range(max(0, retry.retries) + 1):
-        out = engine_attempt("primary" if k == 0 else "retry", spec, nranks)
+    for attempt in range(max(0, retry.retries) + 1):
+        out = engine_attempt("primary" if attempt == 0 else "retry",
+                             spec, nranks)
         if out is not None:
             return out
 
@@ -330,6 +373,10 @@ def _run_recovering(
     if retry.fallback:
         for mode, fspec in recovery_ladder(spec):
             if mode == "dist":
+                if k != 2 and not fspec.kway:
+                    # bisection rank programs cannot produce K parts;
+                    # their sequential recursive-bisection form can
+                    continue
                 out = engine_attempt("fallback", fspec, p_last)
             else:
                 out = sequential_attempt(fspec)
@@ -362,6 +409,8 @@ def run_parallel(
     max_sim_seconds: Optional[float] = None,
     backend: str = "sim",
     op_timeout: Optional[float] = None,
+    k: int = 2,
+    cost_model=None,
 ) -> PartitionResult:
     """Run a registered method on ``nranks`` virtual ranks.
 
@@ -391,14 +440,32 @@ def run_parallel(
     :func:`~repro.parallel.engine.run_spmd`); both run the same rank
     program and must produce bit-identical partitions.  ``op_timeout``
     bounds per-operation blocking on the procs backend.
+
+    ``k`` is the number of parts; values other than 2 need a native
+    k-way method (``spec.kway``, e.g. ``"kway-geometric"``).
+    ``cost_model`` selects the balance cost (a registered name, a
+    :class:`~repro.core.cost.CostModel`, or a per-vertex array) and is
+    forwarded to k-way rank programs; recovered k-way fallbacks run
+    recursive bisection + k-way refinement under the same model.
     """
     spec = method if isinstance(method, MethodSpec) else get_method(method)
     if spec.distributed is None:
         raise ConfigError(
             f"method {spec.name!r} has no distributed implementation"
         )
-    if graph.num_vertices < 2:
-        raise PartitionError("cannot bisect fewer than 2 vertices")
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    if k != 2 and not spec.kway:
+        raise ConfigError(
+            f"method {spec.name!r} is a bisection method; only native "
+            f"k-way methods accept k={k} (use partition_kway for "
+            "recursive bisection)"
+        )
+    if graph.num_vertices < max(2, k):
+        raise PartitionError(
+            f"cannot split {graph.num_vertices} vertices into "
+            f"{max(2, k)} parts"
+        )
     if spec.needs_coords:
         coords = as_coords(coords)
     if retry is None:
@@ -408,6 +475,7 @@ def run_parallel(
             max_imbalance=max_imbalance, faults=faults,
             max_steps=max_steps, max_sim_seconds=max_sim_seconds,
             backend=backend, op_timeout=op_timeout,
+            k=k, cost_model=cost_model,
         )
     return _run_recovering(
         spec, graph, nranks, coords=coords, config=config, seed=seed,
@@ -415,6 +483,7 @@ def run_parallel(
         max_imbalance=max_imbalance, faults=faults, retry=retry,
         max_steps=max_steps, max_sim_seconds=max_sim_seconds,
         backend=backend, op_timeout=op_timeout,
+        k=k, cost_model=cost_model,
     )
 
 

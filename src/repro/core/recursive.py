@@ -12,7 +12,12 @@ proportionally (so k need not be a power of two), and supports any
 callable with the library's bisector signature
 ``f(graph, **kwargs) -> PartitionResult`` or
 ``f(graph, coords, **kwargs) -> PartitionResult`` for coordinate-based
-methods (coordinates are sliced along with the subgraphs).
+methods (coordinates are sliced along with the subgraphs), as well as
+any registered method name.
+
+Results are backed by :class:`repro.graph.partition.KWayPartition`;
+the quality metrics (``kway_cut``, ``kway_imbalance``) live there and
+are re-exported here for compatibility.
 """
 
 from __future__ import annotations
@@ -24,37 +29,43 @@ import numpy as np
 
 from ..errors import PartitionError
 from ..graph.csr import CSRGraph
+from ..graph.partition import (  # noqa: F401  (compat re-exports)
+    KWayPartition,
+    kway_cut,
+    kway_cut_weight,
+    kway_imbalance,
+)
 from ..rng import SeedLike, derive_seed
 
-__all__ = ["KWayResult", "recursive_bisection", "kway_cut", "kway_imbalance"]
-
-
-def kway_cut(graph: CSRGraph, parts: np.ndarray) -> int:
-    """Number of edges whose endpoints lie in different parts."""
-    parts = np.asarray(parts)
-    src = graph.edge_sources()
-    return int((parts[src] != parts[graph.indices]).sum()) // 2
-
-
-def kway_imbalance(graph: CSRGraph, parts: np.ndarray, k: int) -> float:
-    """``max_part_weight / (total/k) − 1`` (0 = perfect balance)."""
-    parts = np.asarray(parts)
-    total = graph.total_vertex_weight
-    if total == 0 or k < 1:
-        return 0.0
-    weights = np.bincount(parts, weights=graph.vwgt, minlength=k)
-    return float(weights.max() / (total / k) - 1.0)
+__all__ = [
+    "KWayResult",
+    "recursive_bisection",
+    "kway_cut",
+    "kway_cut_weight",
+    "kway_imbalance",
+]
 
 
 @dataclass
 class KWayResult:
-    """A k-way partition with its quality metrics."""
+    """A k-way partition with its quality metrics.
+
+    Thin result wrapper around :class:`KWayPartition` keeping the
+    recursion bookkeeping (`bisections`) next to the labelling.
+    ``costs`` is the optional cost-model array the balance metrics are
+    measured against (``graph.vwgt`` when ``None``).
+    """
 
     graph: CSRGraph
     parts: np.ndarray
     k: int
     bisections: int = 0
     extras: Dict = field(default_factory=dict)
+    costs: Optional[np.ndarray] = None
+
+    @property
+    def partition(self) -> KWayPartition:
+        return KWayPartition(self.graph, self.parts, self.k, costs=self.costs)
 
     @property
     def cut_size(self) -> int:
@@ -62,7 +73,7 @@ class KWayResult:
 
     @property
     def imbalance(self) -> float:
-        return kway_imbalance(self.graph, self.parts, self.k)
+        return kway_imbalance(self.graph, self.parts, self.k, costs=self.costs)
 
     @property
     def part_sizes(self) -> np.ndarray:
@@ -87,6 +98,7 @@ def recursive_bisection(
     coords: Optional[np.ndarray] = None,
     seed: SeedLike = None,
     min_part: int = 1,
+    cost_model=None,
     **bisector_kwargs,
 ) -> KWayResult:
     """Partition ``graph`` into ``k`` parts via recursive bisection.
@@ -97,6 +109,10 @@ def recursive_bisection(
     resolved through :data:`repro.core.methods.METHOD_REGISTRY`.  The
     part budget splits ⌈k/2⌉ : ⌊k/2⌋, and the bisector's balance point
     follows the budget so odd ``k`` stays balanced.
+
+    ``cost_model`` only affects how the *result's* balance is measured
+    (the recursion itself splits by vertex weight); pass the partition
+    to :func:`repro.refine.kway_refine` to enforce a cost-model bound.
     """
     if k < 1:
         raise PartitionError(f"k must be >= 1, got {k}")
@@ -115,11 +131,16 @@ def recursive_bisection(
                 "bisection"
             )
         bisector = spec.sequential
+    from .cost import resolve_costs
+
+    costs = resolve_costs(graph, cost_model)
     parts = np.zeros(graph.num_vertices, dtype=np.int64)
     counter = {"bisections": 0}
     _recurse(graph, np.arange(graph.num_vertices), coords, k, 0, parts,
              bisector, seed, counter, bisector_kwargs, min_part)
-    return KWayResult(graph, parts, k, bisections=counter["bisections"])
+    return KWayResult(
+        graph, parts, k, bisections=counter["bisections"], costs=costs
+    )
 
 
 def _rebalance_to_fraction(bis, target_frac: float, tol: float = 0.02):

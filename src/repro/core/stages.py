@@ -36,10 +36,12 @@ from ..embed.multilevel import multilevel_embedding
 from ..embed.parallel import dist_multilevel_embedding
 from ..errors import GeometryError
 from ..geometric.gmt import geometric_partition
+from ..geometric.kway import dist_kway_geometric, kway_geometric_assign
 from ..geometric.parallel import dist_geometric, dist_strip_refine
 from ..graph.csr import CSRGraph
-from ..graph.partition import Bisection
+from ..graph.partition import Bisection, KWayPartition
 from ..parallel.engine import Comm
+from ..refine.kway import kway_refine
 from ..refine.strip import strip_refine
 from ..rng import SeedLike, derive_seed
 from .config import ScalaPartConfig
@@ -48,17 +50,23 @@ __all__ = [
     "StageArtifact",
     "EmbeddingArtifact",
     "GeometricArtifact",
+    "KWayArtifact",
     "RefineArtifact",
     "as_coords",
     "Stage",
     "EmbedStage",
     "GeometricStage",
+    "KWayGeometricStage",
+    "KWayRefineStage",
     "StripRefineStage",
     "EMBED_STAGE",
     "GEOMETRIC_STAGE",
+    "KWAY_GEOMETRIC_STAGE",
+    "KWAY_REFINE_STAGE",
     "STRIP_REFINE_STAGE",
     "SCALAPART_STAGES",
     "PARTITION_STAGES",
+    "KWAY_STAGES",
 ]
 
 
@@ -104,6 +112,14 @@ class RefineArtifact(StageArtifact):
     """Final bisection after strip-restricted FM."""
 
     bisection: Bisection = None
+
+
+@dataclass(frozen=True)
+class KWayArtifact(StageArtifact):
+    """K-way labelling from the direct geometric assignment or the
+    greedy boundary refinement."""
+
+    partition: KWayPartition = None
 
 
 def as_coords(obj) -> np.ndarray:
@@ -267,12 +283,92 @@ class StripRefineStage(Stage):
                                              config=cfg))
 
 
+class KWayGeometricStage(Stage):
+    """Stage 3, K-way form: split the embedding into K centroid cells.
+
+    Generalises :class:`GeometricStage` from one great circle to a
+    balanced spherical K-means assignment.  ``upstream`` is the
+    coordinate source; ``k`` and the resolved cost array arrive as
+    keyword arguments from the driver.
+    """
+
+    name = "partition"
+
+    def run(self, graph, upstream, config=None, seed=None, *,
+            k: int = 2, costs=None):
+        cfg = config or ScalaPartConfig()
+        coords = as_coords(upstream)
+        t0 = time.perf_counter()
+        parts, info = kway_geometric_assign(
+            graph,
+            coords,
+            k,
+            costs=costs,
+            seed=derive_seed(seed, 0x5B),
+            lloyd_iters=cfg.kway_lloyd_iters,
+            balance_iters=cfg.kway_balance_iters,
+        )
+        return KWayArtifact(
+            stage=self.name,
+            seconds=time.perf_counter() - t0,
+            info=info,
+            partition=KWayPartition(graph, parts, k, costs=costs),
+        )
+
+    def run_dist(self, comm, graph, upstream, config=None, seed=None, *,
+                 k: int = 2, costs=None, max_imbalance=None):
+        # the distributed form folds the root-side k-way refinement in
+        # (like dist_strip_refine) and returns the final (parts, info)
+        # pair the host packagers expect
+        cfg = config or ScalaPartConfig()
+        coords = as_coords(upstream)
+        comm.set_phase(self.name)
+        return (yield from dist_kway_geometric(
+            comm, graph, coords,
+            k=k, costs=costs, config=cfg,
+            seed=derive_seed(seed, 0x5B),
+            max_imbalance=max_imbalance,
+        ))
+
+
+class KWayRefineStage(Stage):
+    """Stage 4, K-way form: greedy boundary refinement."""
+
+    name = "refine"
+
+    def run(self, graph, upstream: KWayArtifact, config=None, seed=None, *,
+            max_imbalance=None):
+        cfg = config or ScalaPartConfig()
+        bound = cfg.max_imbalance if max_imbalance is None else max_imbalance
+        t0 = time.perf_counter()
+        refined = kway_refine(
+            upstream.partition,
+            max_imbalance=bound,
+            max_passes=cfg.kway_refine_passes,
+            pairwise_rounds=cfg.kway_pairwise_rounds,
+        )
+        return KWayArtifact(
+            stage=self.name,
+            seconds=time.perf_counter() - t0,
+            info={
+                "geometric_cut": refined.initial_cut,
+                "refine_passes": refined.passes,
+                "refine_moves": refined.moves,
+            },
+            partition=refined.partition,
+        )
+
+
 #: the shared singletons both drivers compose
 EMBED_STAGE = EmbedStage()
 GEOMETRIC_STAGE = GeometricStage()
 STRIP_REFINE_STAGE = StripRefineStage()
+KWAY_GEOMETRIC_STAGE = KWayGeometricStage()
+KWAY_REFINE_STAGE = KWayRefineStage()
 
 #: full ScalaPart pipeline (coarsen+embed → partition → refine)
 SCALAPART_STAGES = (EMBED_STAGE, GEOMETRIC_STAGE, STRIP_REFINE_STAGE)
 #: SP-PG7-NL: stages 3–4 only, coordinates supplied by the caller
 PARTITION_STAGES = (GEOMETRIC_STAGE, STRIP_REFINE_STAGE)
+#: direct k-way: coarsen+embed → K-cell assignment → boundary refine
+KWAY_STAGES = (EMBED_STAGE, KWAY_GEOMETRIC_STAGE, KWAY_REFINE_STAGE)

@@ -1,7 +1,9 @@
-"""Partition refinement: Fiduccia–Mattheyses, Kernighan–Lin, strips."""
+"""Partition refinement: Fiduccia–Mattheyses, Kernighan–Lin, strips,
+greedy boundary k-way."""
 
 from .fm import FMResult, fm_refine
 from .kl import KLResult, kl_refine
+from .kway import KWayRefineResult, kway_refine
 from .strip import StripResult, strip_mask, strip_refine
 
 __all__ = [
@@ -9,6 +11,8 @@ __all__ = [
     "fm_refine",
     "KLResult",
     "kl_refine",
+    "KWayRefineResult",
+    "kway_refine",
     "StripResult",
     "strip_mask",
     "strip_refine",

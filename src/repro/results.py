@@ -1,11 +1,16 @@
 """Common result record for all partitioners.
 
 Every partitioner in the library — ScalaPart, the geometric variants,
-RCB, the multilevel baselines — returns a :class:`PartitionResult`, so
-the benchmark harness can sweep methods uniformly.  ``stage_seconds``
-holds wall-clock stage timings for sequential runs and *simulated*
-stage timings (from the virtual machine) for distributed runs; the
-``simulated`` flag says which.
+RCB, the multilevel baselines, the direct k-way methods — returns a
+:class:`PartitionResult`, so the benchmark harness can sweep methods
+uniformly.  ``stage_seconds`` holds wall-clock stage timings for
+sequential runs and *simulated* stage timings (from the virtual
+machine) for distributed runs; the ``simulated`` flag says which.
+
+Two-way results carry a :class:`Bisection`; k-way results carry a
+:class:`KWayPartition` (a 2-way run through a k-way method sets both,
+consistently).  The quality properties dispatch to whichever labelling
+is present, preferring the k-way one — its balance is CostModel-aware.
 """
 
 from __future__ import annotations
@@ -13,7 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from .graph.partition import Bisection
+import numpy as np
+
+from .errors import PartitionError
+from .graph.partition import Bisection, KWayPartition
 
 __all__ = ["PartitionResult"]
 
@@ -22,31 +30,60 @@ __all__ = ["PartitionResult"]
 class PartitionResult:
     """Outcome of one partitioning run."""
 
-    bisection: Bisection
-    method: str
+    bisection: Optional[Bisection] = None
+    method: str = ""
     seconds: float = 0.0
     simulated: bool = False
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     extras: Dict[str, Any] = field(default_factory=dict)
+    kway: Optional[KWayPartition] = None
+
+    def __post_init__(self) -> None:
+        if self.bisection is None and self.kway is None:
+            raise PartitionError(
+                "PartitionResult needs a bisection or a k-way partition"
+            )
+
+    @property
+    def k(self) -> int:
+        """Number of parts in the labelling."""
+        return self.kway.k if self.kway is not None else 2
+
+    @property
+    def parts(self) -> np.ndarray:
+        """Unified per-vertex labels in ``[0, k)`` (int64)."""
+        if self.kway is not None:
+            return self.kway.parts
+        return self.bisection.side.astype(np.int64)
 
     @property
     def cut_size(self) -> int:
+        if self.kway is not None:
+            return self.kway.cut_size
         return self.bisection.cut_size
 
     @property
     def cut_weight(self) -> float:
+        if self.kway is not None:
+            return self.kway.cut_weight
         return self.bisection.cut_weight
 
     @property
     def imbalance(self) -> float:
+        if self.kway is not None:
+            return self.kway.imbalance
         return self.bisection.imbalance
 
     def validate(self, max_imbalance: Optional[float] = None) -> None:
-        self.bisection.validate(max_imbalance)
+        if self.kway is not None:
+            self.kway.validate(max_imbalance)
+        else:
+            self.bisection.validate(max_imbalance)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = "sim" if self.simulated else "wall"
         return (
-            f"PartitionResult({self.method}: cut={self.cut_size}, "
-            f"imbalance={self.imbalance:.3f}, {kind}={self.seconds:.4g}s)"
+            f"PartitionResult({self.method}: k={self.k}, "
+            f"cut={self.cut_size}, imbalance={self.imbalance:.3f}, "
+            f"{kind}={self.seconds:.4g}s)"
         )

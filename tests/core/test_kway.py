@@ -1,0 +1,187 @@
+"""Tests for the k-way drivers: direct, recursive, and hierarchical.
+
+Three contracts are pinned here:
+
+* *parity of validity*: with the same seed, the direct ``kway-geometric``
+  method and recursive bisection through any registered method both
+  produce valid K-way partitions on a small graph suite;
+* *parity of quality*: the direct method's cut stays within 1.25x of
+  the recursive-bisection median (the acceptance bound of the k-way
+  subsystem);
+* *backend parity*: the distributed direct method is bit-identical
+  between the sim and procs executors at k > 2, exactly like the
+  bisection methods at k = 2.
+"""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.core import ScalaPartConfig, run_parallel
+from repro.core.cost import DegreeCost
+from repro.core.kway import (
+    hierarchical_kway,
+    kway_geometric,
+    parse_hierarchy,
+    partition_kway,
+)
+from repro.errors import ConfigError, PartitionError
+from repro.graph.generators import annulus_delaunay, grid2d, random_delaunay
+from repro.graph.partition import kway_imbalance
+from repro.parallel import procs_available
+
+FAST = ScalaPartConfig(coarsest_iters=50, smooth_iters=5)
+
+SUITE = [
+    ("grid24", lambda: grid2d(24, 24)),
+    ("delaunay500", lambda: random_delaunay(500, seed=2)),
+    ("annulus", lambda: annulus_delaunay(500, seed=3)),
+]
+
+
+@pytest.fixture(scope="module")
+def meshes():
+    return {name: fn() for name, fn in SUITE}
+
+
+class TestDirectRecursiveParity:
+    @pytest.mark.parametrize("name", [s[0] for s in SUITE])
+    @pytest.mark.parametrize("k", [4, 8])
+    def test_same_seed_both_routes_valid(self, name, k, meshes):
+        mesh = meshes[name]
+        direct = partition_kway(mesh.graph, k, "kway-geometric",
+                                coords=mesh.coords, config=FAST, seed=7)
+        recursive = partition_kway(mesh.graph, k, "parmetis",
+                                   config=FAST, seed=7)
+        for res in (direct, recursive):
+            assert res.k == k
+            assert len(np.unique(res.parts)) == k
+            res.validate(max_imbalance=0.10)
+
+    def test_direct_cut_within_bound_of_recursive_median(self, meshes):
+        """Direct k-way must stay within 1.25x of the recursive
+        bisection median cut (the subsystem's acceptance bound)."""
+        for name, mesh in meshes.items():
+            direct = kway_geometric(mesh.graph, mesh.coords, config=FAST,
+                                    seed=1, k=8)
+            rec_cuts = [
+                partition_kway(mesh.graph, 8, "scalapart", config=FAST,
+                               seed=s).cut_size
+                for s in (1, 2, 3)
+            ]
+            median = statistics.median(rec_cuts)
+            assert direct.cut_size <= 1.25 * median, (
+                f"{name}: direct {direct.cut_size} vs recursive "
+                f"median {median}"
+            )
+
+    def test_recursive_path_records_refinement(self, meshes):
+        mesh = meshes["delaunay500"]
+        res = partition_kway(mesh.graph, 4, "parmetis", config=FAST, seed=4)
+        assert res.extras["bisections"] == 3
+        assert "refine_passes" in res.extras
+        unrefined = partition_kway(mesh.graph, 4, "parmetis", config=FAST,
+                                   seed=4, refine=False)
+        assert res.cut_size <= unrefined.cut_size
+
+    def test_k2_sets_bisection_view(self, meshes):
+        mesh = meshes["grid24"]
+        res = partition_kway(mesh.graph, 2, "kway-geometric",
+                             coords=mesh.coords, config=FAST, seed=5)
+        assert res.bisection is not None
+        assert np.array_equal(res.bisection.side.astype(np.int64), res.parts)
+
+    def test_bad_k_rejected(self, meshes):
+        g = meshes["grid24"].graph
+        with pytest.raises(PartitionError):
+            partition_kway(g, 0, "parmetis")
+        with pytest.raises(PartitionError):
+            kway_geometric(g, k=g.num_vertices + 1)
+
+
+class TestBackendParityKWay:
+    """sim and procs must agree bit-for-bit at k > 2."""
+
+    @pytest.mark.skipif(not procs_available(),
+                        reason="procs backend unavailable (no fork)")
+    @pytest.mark.parametrize("k", [4, 8])
+    def test_bit_identical_partitions(self, k):
+        mesh = random_delaunay(400, seed=3)
+        sim = run_parallel("kway-geometric", mesh.graph, 4,
+                           coords=mesh.coords, config=FAST, seed=11,
+                           backend="sim", k=k)
+        procs = run_parallel("kway-geometric", mesh.graph, 4,
+                             coords=mesh.coords, config=FAST, seed=11,
+                             backend="procs", k=k)
+        assert np.array_equal(sim.parts, procs.parts)
+        assert sim.cut_size == procs.cut_size
+        sim.validate(max_imbalance=0.10)
+
+    def test_run_parallel_threads_k(self):
+        mesh = random_delaunay(400, seed=3)
+        res = run_parallel("kway-geometric", mesh.graph, 4,
+                           coords=mesh.coords, config=FAST, seed=11, k=8)
+        assert res.k == 8
+        assert len(np.unique(res.parts)) == 8
+        res.validate(max_imbalance=0.10)
+
+    def test_kway_on_bisection_method_rejected(self):
+        mesh = random_delaunay(300, seed=3)
+        with pytest.raises(ConfigError):
+            run_parallel("scalapart", mesh.graph, 4, config=FAST,
+                         seed=1, k=8)
+
+
+class TestCostModels:
+    def test_degree_cost_bounds_degree_imbalance(self):
+        mesh = random_delaunay(500, seed=6)
+        g = mesh.graph
+        res = partition_kway(g, 4, "kway-geometric", coords=mesh.coords,
+                             config=FAST, seed=2, cost_model="degree",
+                             max_imbalance=0.05)
+        costs = DegreeCost().vertex_costs(g)
+        assert kway_imbalance(g, res.parts, 4, costs=costs) <= 0.10
+        assert res.extras["cost_model"] == "degree"
+
+    def test_array_cost_threads_through(self):
+        mesh = random_delaunay(400, seed=7)
+        g = mesh.graph
+        costs = np.ones(g.num_vertices)
+        costs[: g.num_vertices // 10] = 8.0  # a hot corner
+        res = partition_kway(g, 4, "kway-geometric", coords=mesh.coords,
+                             config=FAST, seed=3, cost_model=costs,
+                             max_imbalance=0.05)
+        assert kway_imbalance(g, res.parts, 4, costs=costs) <= 0.10
+
+
+class TestHierarchy:
+    def test_parse(self):
+        assert parse_hierarchy("2x4") == (2, 4)
+        assert parse_hierarchy("16X8") == (16, 8)
+        for bad in ("2", "2x", "x4", "2x4x2", "ax2", "0x4"):
+            with pytest.raises(ConfigError):
+                parse_hierarchy(bad)
+
+    def test_nested_labelling_consistent(self):
+        mesh = random_delaunay(600, seed=8)
+        res = hierarchical_kway(mesh.graph, 2, 4, "kway-geometric",
+                                coords=mesh.coords, config=FAST, seed=9)
+        assert res.k == 8
+        assert len(np.unique(res.parts)) == 8
+        # label // k2 recovers the node level exactly
+        assert np.array_equal(res.parts // 4, res.extras["level1_parts"])
+        assert res.extras["hierarchy"] == (2, 4)
+        res.validate(max_imbalance=0.12)
+
+    def test_hierarchy_through_recursive_method(self):
+        mesh = random_delaunay(400, seed=10)
+        res = hierarchical_kway(mesh.graph, 2, 2, "parmetis",
+                                config=FAST, seed=11)
+        assert res.k == 4
+        assert np.array_equal(res.parts // 2, res.extras["level1_parts"])
+
+    def test_too_many_parts_rejected(self):
+        g = grid2d(3, 3).graph
+        with pytest.raises(PartitionError):
+            hierarchical_kway(g, 4, 4, "parmetis")

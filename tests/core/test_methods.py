@@ -36,10 +36,11 @@ FAST = ScalaPartConfig(coarsest_iters=50, smooth_iters=5)
 
 EXPECTED = {
     "ScalaPart", "SP-PG7-NL", "ParMetis-like", "Pt-Scotch-like", "RCB",
-    "Spectral", "G30", "G7", "G7-NL",
+    "Spectral", "G30", "G7", "G7-NL", "KWay-Geometric",
 }
 EXPECTED_TRACEABLE = {
     "ScalaPart", "SP-PG7-NL", "ParMetis-like", "Pt-Scotch-like", "RCB",
+    "KWay-Geometric",
 }
 
 

@@ -1,0 +1,166 @@
+"""Tests for the k-way partition core type and its free-function metrics.
+
+``KWayPartition`` is the k-way sibling of ``Bisection``: an immutable
+labelling in ``[0, k)`` with cut/balance/boundary metrics.  Balance is
+*cost-model aware* — measured against an attached per-vertex cost array
+when present, ``graph.vwgt`` otherwise — which the skewed-weight
+regression tests below pin down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid2d, path_graph, random_delaunay
+from repro.graph.partition import (
+    Bisection,
+    KWayPartition,
+    kway_cut,
+    kway_cut_weight,
+    kway_imbalance,
+    part_costs,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid2d(8, 8).graph
+
+
+def _quarters(n, k=4):
+    return np.repeat(np.arange(k), n // k)
+
+
+class TestConstruction:
+    def test_basic_properties(self, grid):
+        parts = _quarters(grid.num_vertices)
+        kp = KWayPartition(grid, parts, 4)
+        assert kp.k == 4
+        assert kp.parts.dtype == np.int64
+        assert not kp.parts.flags.writeable
+        assert np.array_equal(kp.part_sizes, [16, 16, 16, 16])
+        kp.validate(max_imbalance=0.0)
+
+    def test_out_of_range_labels_rejected(self, grid):
+        parts = np.zeros(grid.num_vertices, dtype=np.int64)
+        parts[0] = 4
+        with pytest.raises(PartitionError):
+            KWayPartition(grid, parts, 4)
+        parts[0] = -1
+        with pytest.raises(PartitionError):
+            KWayPartition(grid, parts, 4)
+
+    def test_wrong_length_rejected(self, grid):
+        with pytest.raises(PartitionError):
+            KWayPartition(grid, np.zeros(3, dtype=np.int64), 2)
+
+    def test_empty_part_fails_validate(self, grid):
+        parts = np.zeros(grid.num_vertices, dtype=np.int64)
+        kp = KWayPartition(grid, parts, 2)
+        with pytest.raises(PartitionError):
+            kp.validate()
+
+    def test_from_to_bisection_roundtrip(self, grid):
+        side = (np.arange(grid.num_vertices) % 2).astype(np.int8)
+        b = Bisection(grid, side)
+        kp = KWayPartition.from_bisection(b)
+        assert kp.k == 2
+        assert kp.cut_weight == b.cut_weight
+        back = kp.to_bisection()
+        assert np.array_equal(back.side, side)
+
+    def test_to_bisection_rejects_large_k(self, grid):
+        kp = KWayPartition(grid, _quarters(grid.num_vertices), 4)
+        with pytest.raises(PartitionError):
+            kp.to_bisection()
+
+    def test_with_parts_preserves_costs(self, grid):
+        costs = np.linspace(1, 2, grid.num_vertices)
+        kp = KWayPartition(grid, _quarters(grid.num_vertices), 4, costs=costs)
+        moved = kp.parts.copy()
+        moved[0] = 1
+        kp2 = kp.with_parts(moved)
+        assert kp2.costs is not None
+        assert np.array_equal(kp2.balance_costs, costs)
+
+
+class TestMetrics:
+    def test_cut_matches_bisection_on_two_parts(self):
+        mesh = random_delaunay(150, seed=1)
+        g = mesh.graph
+        side = (np.arange(g.num_vertices) < g.num_vertices // 2)
+        b = Bisection(g, side.astype(np.int8))
+        kp = KWayPartition(g, side.astype(np.int64), 2)
+        assert kp.cut_size == b.cut_size
+        assert kp.cut_weight == b.cut_weight
+
+    def test_path_cut_counts_crossings(self):
+        g = path_graph(8).graph
+        parts = np.array([0, 0, 1, 1, 2, 2, 3, 3], dtype=np.int64)
+        kp = KWayPartition(g, parts, 4)
+        assert kp.cut_size == 3
+        boundary, conn = kp.boundary_connectivity()
+        assert set(boundary) == {1, 2, 3, 4, 5, 6}
+
+    def test_boundary_vertices(self, grid):
+        kp = KWayPartition(grid, _quarters(grid.num_vertices), 4)
+        bd = kp.boundary_vertices()
+        assert 0 < bd.size < grid.num_vertices
+
+
+class TestImbalanceUsesVertexWeights:
+    """Regression: k-way imbalance must weight vertices by ``vwgt``
+    (or the attached costs), never by raw counts."""
+
+    def _skewed(self):
+        # path of 8, one end vertex carries almost all the weight
+        g0 = path_graph(8).graph
+        vwgt = np.ones(8)
+        vwgt[0] = 100.0
+        return CSRGraph(g0.indptr, g0.indices, g0.ewgt, vwgt)
+
+    def test_count_balanced_but_weight_skewed(self):
+        g = self._skewed()
+        parts = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=np.int64)
+        # 4 vertices per side, but side 0 holds 103/107 of the weight
+        imb = kway_imbalance(g, parts, 2)
+        assert imb == pytest.approx(103.0 / (107.0 / 2) - 1.0)
+        assert imb > 0.9
+
+    def test_weight_balanced_but_count_skewed(self):
+        g = self._skewed()
+        parts = np.array([0, 1, 1, 1, 1, 1, 1, 1], dtype=np.int64)
+        # 1-vs-7 vertices, yet weights are 100 vs 7
+        imb = kway_imbalance(g, parts, 2)
+        assert imb == pytest.approx(100.0 / (107.0 / 2) - 1.0)
+
+    def test_explicit_costs_override_vwgt(self):
+        g = self._skewed()
+        parts = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=np.int64)
+        # unit costs: the same split is perfectly balanced
+        assert kway_imbalance(g, parts, 2, costs=np.ones(8)) == 0.0
+
+    def test_partition_type_agrees_with_free_function(self):
+        g = self._skewed()
+        parts = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=np.int64)
+        kp = KWayPartition(g, parts, 2)
+        assert kp.imbalance == pytest.approx(kway_imbalance(g, parts, 2))
+        assert np.array_equal(kp.part_costs, part_costs(g, parts, 2))
+
+
+class TestFreeFunctions:
+    def test_cut_weight_consistent(self):
+        mesh = random_delaunay(120, seed=4)
+        g = mesh.graph
+        parts = (np.arange(g.num_vertices) % 3).astype(np.int64)
+        assert kway_cut(g, parts) >= 0
+        assert kway_cut_weight(g, parts) >= float(kway_cut(g, parts)) * 0.0
+        kp = KWayPartition(g, parts, 3)
+        assert kp.cut_size == kway_cut(g, parts)
+        assert kp.cut_weight == kway_cut_weight(g, parts)
+
+    def test_single_part_zero_cut(self, grid):
+        parts = np.zeros(grid.num_vertices, dtype=np.int64)
+        assert kway_cut(grid, parts) == 0
+        assert kway_imbalance(grid, parts, 1) == 0.0

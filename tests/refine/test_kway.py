@@ -1,0 +1,108 @@
+"""Tests for the greedy + pairwise-FM k-way refinement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.generators import grid2d, random_delaunay
+from repro.graph.partition import KWayPartition, kway_imbalance
+from repro.refine.kway import kway_refine
+from repro.rng import as_generator
+
+
+def _noisy_quarters(g, k, seed, flip=0.15):
+    """A roughly balanced k-way labelling with a jagged boundary."""
+    n = g.num_vertices
+    parts = (np.arange(n) * k // n).astype(np.int64)
+    rng = as_generator(seed)
+    flips = rng.random(n) < flip
+    parts[flips] = rng.integers(0, k, size=int(flips.sum()))
+    return parts
+
+
+class TestGreedyRefinement:
+    def test_reduces_cut_and_respects_balance(self):
+        g = grid2d(16, 16).graph
+        parts = _noisy_quarters(g, 4, seed=1)
+        kp = KWayPartition(g, parts, 4)
+        res = kway_refine(kp, max_imbalance=0.05)
+        assert res.final_cut <= res.initial_cut
+        assert res.improvement > 0
+        res.partition.validate(max_imbalance=0.05)
+
+    def test_already_perfect_is_stable(self):
+        # contiguous halves of a grid: refinement must not degrade them
+        g = grid2d(10, 10).graph
+        parts = (np.arange(g.num_vertices) >= 50).astype(np.int64)
+        res = kway_refine(KWayPartition(g, parts, 2), max_imbalance=0.05)
+        assert res.final_cut <= res.initial_cut
+
+    def test_deterministic(self):
+        mesh = random_delaunay(300, seed=3)
+        parts = _noisy_quarters(mesh.graph, 6, seed=4)
+        a = kway_refine(KWayPartition(mesh.graph, parts, 6))
+        b = kway_refine(KWayPartition(mesh.graph, parts, 6))
+        assert np.array_equal(a.partition.parts, b.partition.parts)
+        assert a.moves == b.moves
+
+    def test_rebalances_overloaded_input(self):
+        g = grid2d(12, 12).graph
+        # grossly unbalanced: 90% of vertices in part 0
+        parts = np.zeros(g.num_vertices, dtype=np.int64)
+        parts[-14:] = 1
+        kp = KWayPartition(g, parts, 2)
+        res = kway_refine(kp, max_imbalance=0.10)
+        after = kway_imbalance(g, res.partition.parts, 2)
+        assert after < kp.imbalance
+
+    def test_zero_passes_is_identity(self):
+        g = grid2d(8, 8).graph
+        parts = _noisy_quarters(g, 4, seed=5)
+        res = kway_refine(KWayPartition(g, parts, 4), max_passes=0,
+                          pairwise_rounds=0)
+        assert np.array_equal(res.partition.parts, parts)
+        assert res.moves == 0
+
+    def test_bad_args_rejected(self):
+        g = grid2d(4, 4).graph
+        kp = KWayPartition(g, np.zeros(16, dtype=np.int64), 1)
+        with pytest.raises(PartitionError):
+            kway_refine(kp, max_imbalance=-0.1)
+        with pytest.raises(PartitionError):
+            kway_refine(kp, max_passes=-1)
+        with pytest.raises(PartitionError):
+            kway_refine(kp, pairwise_rounds=-1)
+
+
+class TestCostModelBalance:
+    def test_costs_bound_the_result(self):
+        mesh = random_delaunay(250, seed=6)
+        g = mesh.graph
+        rng = as_generator(7)
+        costs = 1.0 + 4.0 * rng.random(g.num_vertices)
+        parts = _noisy_quarters(g, 4, seed=8)
+        kp = KWayPartition(g, parts, 4, costs=costs)
+        res = kway_refine(kp, max_imbalance=0.10)
+        assert kway_imbalance(g, res.partition.parts, 4, costs=costs) <= \
+            max(0.10, kp.imbalance)
+
+
+class TestPairwiseFM:
+    def test_pairwise_beats_greedy_alone(self):
+        """The FM phase escapes local minima the single-move greedy
+        sweep stalls in (the reason it exists)."""
+        g = grid2d(24, 24).graph
+        parts = _noisy_quarters(g, 4, seed=9, flip=0.3)
+        kp = KWayPartition(g, parts, 4)
+        greedy = kway_refine(kp, pairwise_rounds=0)
+        both = kway_refine(kp, pairwise_rounds=3)
+        assert both.final_cut <= greedy.final_cut
+        both.partition.validate(max_imbalance=0.05)
+
+    def test_pairwise_never_raises_global_cut(self):
+        mesh = random_delaunay(300, seed=10)
+        parts = _noisy_quarters(mesh.graph, 5, seed=11)
+        kp = KWayPartition(mesh.graph, parts, 5)
+        greedy = kway_refine(kp, pairwise_rounds=0)
+        both = kway_refine(kp, pairwise_rounds=2)
+        assert both.final_cut <= greedy.final_cut

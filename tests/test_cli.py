@@ -113,6 +113,69 @@ class TestPartition:
         parts = np.array([int(x) for x in out.read_text().split()])
         assert len(np.unique(parts)) == 4
 
+    def test_direct_kway_method(self, graph_file, tmp_path, capsys):
+        """``--parts`` with a native k-way method splits directly."""
+        path, g = graph_file
+        out = tmp_path / "g.kg4"
+        rc = main(["partition", path, "--method", "kway-geometric",
+                   "--parts", "4", "--out", str(out), "--seed", "1"])
+        assert rc == 0
+        parts = np.array([int(x) for x in out.read_text().split()])
+        assert parts.shape == (144,)
+        assert len(np.unique(parts)) == 4
+        assert "kway_cut=" in capsys.readouterr().err
+
+    def test_direct_kway_on_sim_backend(self, graph_file, tmp_path):
+        """k > 2 runs through the SPMD engine for native k-way methods."""
+        path, g = graph_file
+        out = tmp_path / "g.kg4sim"
+        rc = main(["partition", path, "--method", "kway-geometric",
+                   "--parts", "4", "--backend", "sim", "--nranks", "4",
+                   "--out", str(out), "--seed", "1"])
+        assert rc == 0
+        parts = np.array([int(x) for x in out.read_text().split()])
+        assert len(np.unique(parts)) == 4
+
+    def test_kway_backend_needs_native_method(self, graph_file):
+        """Bisection methods cannot produce k > 2 parts on sim/procs."""
+        path, g = graph_file
+        rc = main(["partition", path, "--method", "scalapart",
+                   "--parts", "4", "--backend", "sim"])
+        assert rc == 2
+
+    def test_hierarchy(self, graph_file, tmp_path, capsys):
+        path, g = graph_file
+        out = tmp_path / "g.h"
+        rc = main(["partition", path, "--method", "kway-geometric",
+                   "--hierarchy", "2x2", "--out", str(out), "--seed", "4"])
+        assert rc == 0
+        parts = np.array([int(x) for x in out.read_text().split()])
+        assert len(np.unique(parts)) == 4
+        assert "hierarchy=2x2" in capsys.readouterr().err
+
+    def test_hierarchy_rejects_nonseq_backend(self, graph_file):
+        path, g = graph_file
+        rc = main(["partition", path, "--method", "kway-geometric",
+                   "--hierarchy", "2x2", "--backend", "sim"])
+        assert rc == 2
+
+    def test_bad_hierarchy_spec(self, graph_file):
+        path, g = graph_file
+        rc = main(["partition", path, "--method", "kway-geometric",
+                   "--hierarchy", "2x4x2"])
+        assert rc == 2
+
+    def test_cost_model_flag(self, graph_file, tmp_path, capsys):
+        path, g = graph_file
+        out = tmp_path / "g.cm"
+        rc = main(["partition", path, "--method", "parmetis", "--parts", "4",
+                   "--cost-model", "degree", "--out", str(out),
+                   "--seed", "2"])
+        assert rc == 0
+        parts = np.array([int(x) for x in out.read_text().split()])
+        assert len(np.unique(parts)) == 4
+        assert "cost_model=degree" in capsys.readouterr().err
+
 
 class TestEmbed:
     def test_writes_coordinates(self, graph_file, tmp_path):
