@@ -1,9 +1,15 @@
 """SPMD correctness analyzer: static lint + dynamic sanitizer.
 
-Two halves, one contract (see DESIGN §8):
+Three pieces, one contract (see DESIGN §8 and §13):
 
 * :mod:`repro.analysis.lint` — the ``repro lint`` static AST pass over
-  rank programs and library code (rules SP101–SP106);
+  rank programs and library code (per-file rules SP101–SP106, plus the
+  SP099 stale-suppression check);
+* :mod:`repro.analysis.protocol` — the whole-program protocol checker
+  (rules SP107–SP112): communication summaries extracted across
+  modules and model-checked for unmatched point-to-point traffic,
+  collective count divergence, unordered peers, static deadlocks,
+  aliased payload mutation and hot-kernel perf discipline;
 * :mod:`repro.analysis.sanitizer` — the runtime sanitizer behind
   ``run_spmd(..., sanitize=True)``: payload checksums, the collective
   ledger, undriven-generator and undelivered-message reporting.
@@ -11,25 +17,33 @@ Two halves, one contract (see DESIGN §8):
 
 from .lint import (  # noqa: F401
     Finding,
+    PROTOCOL_CODES,
     Rule,
     RULES,
     findings_to_json,
+    findings_to_sarif,
     iter_python_files,
     lint_file,
     lint_paths,
     lint_source,
 )
+from .protocol import HOT_KERNELS, check_registry, program_ops  # noqa: F401
 from .sanitizer import Sanitizer, payload_checksum  # noqa: F401
 
 __all__ = [
     "Finding",
+    "PROTOCOL_CODES",
     "Rule",
     "RULES",
     "findings_to_json",
+    "findings_to_sarif",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "HOT_KERNELS",
+    "check_registry",
+    "program_ops",
     "Sanitizer",
     "payload_checksum",
 ]

@@ -15,6 +15,9 @@ driven by :func:`repro.parallel.engine.run_spmd`).
 Rules
 -----
 ======  ================================================================
+SP099   a ``# repro: lint-ok[CODE]`` suppression whose rule no longer
+        fires on the suppressed line — stale suppressions hide future
+        regressions, so they must be removed when the code is fixed
 SP101   a ``Comm`` communication method (``send``/``recv``/
         ``allreduce``/...) or a :mod:`repro.parallel.patterns` helper
         called without ``yield from`` — the call builds a generator that
@@ -38,6 +41,11 @@ SP106   an ``except`` clause catches :class:`~repro.errors.CommError` /
         silent wrong answer
 ======  ================================================================
 
+The whole-program protocol rules SP107–SP112 live in
+:mod:`repro.analysis.protocol` and run by default from
+:func:`lint_source` / :func:`lint_paths` (disable with
+``protocol=False`` / ``repro lint --no-protocol``).
+
 Dict iteration is *not* flagged: Python dicts preserve insertion order,
 and the engine builds inboxes (e.g. ``comm.exchange`` results) in
 deterministic rank order.
@@ -46,14 +54,17 @@ Suppression
 -----------
 Append ``# repro: lint-ok[SP104]`` (codes comma-separated, or a bare
 ``# repro: lint-ok`` for all codes) to the offending line, or put the
-comment alone on the line directly above it.
+comment alone on the line directly above it.  A suppression whose rule
+does not fire is itself reported as SP099.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
@@ -62,11 +73,14 @@ __all__ = [
     "Finding",
     "Rule",
     "RULES",
+    "Suppressions",
+    "LintUnit",
     "lint_source",
     "lint_file",
     "lint_paths",
     "iter_python_files",
     "findings_to_json",
+    "findings_to_sarif",
 ]
 
 
@@ -90,6 +104,12 @@ RULES: Dict[str, Rule] = {
             "SP000",
             "file could not be parsed",
             "fix the syntax error; the file was not analysed",
+        ),
+        Rule(
+            "SP099",
+            "suppression comment no longer matches any finding",
+            "remove the stale '# repro: lint-ok[...]' comment (it hides "
+            "nothing today and would hide a regression tomorrow)",
         ),
         Rule(
             "SP101",
@@ -126,6 +146,46 @@ RULES: Dict[str, Rule] = {
             "re-raise, raise a converted error, or bind the exception "
             "('except CommError as exc:') and record it — swallowed "
             "faults become silent wrong answers",
+        ),
+        Rule(
+            "SP107",
+            "point-to-point op has no matching counterpart",
+            "pair every recv with a send posting the same tag (and vice "
+            "versa) somewhere in the same rank program",
+        ),
+        Rule(
+            "SP108",
+            "collective count diverges across ranks",
+            "issue the same collectives the same number of times on every "
+            "rank of the communicator; guard subcommunicator collectives "
+            "only with the membership test 'if sub is not None:'",
+        ),
+        Rule(
+            "SP109",
+            "message tag/peer depends on unordered iteration",
+            "derive tags and peers from sorted() or indexed order, never "
+            "from set iteration order",
+        ),
+        Rule(
+            "SP110",
+            "blocking recv posted before any matching send",
+            "post the matching send before the unconditional recv (or use "
+            "sendrecv) — every rank blocks on the recv, so nobody reaches "
+            "the send",
+        ),
+        Rule(
+            "SP111",
+            "posted payload aliases a buffer mutated before delivery",
+            "send a copy, or delay the mutation past the phase boundary — "
+            "under copy_mode='readonly' the receiver aliases the sender's "
+            "memory, views included",
+        ),
+        Rule(
+            "SP112",
+            "hot-kernel perf discipline violated",
+            "use np.bincount instead of np.add.at and hoist array "
+            "allocations out of the iteration loop (the bit-identical "
+            "fast paths are locked in by BENCH_kernels.json)",
         ),
     )
 }
@@ -216,8 +276,71 @@ class Finding:
 
 
 def findings_to_json(findings: Sequence[Finding]) -> str:
-    """Serialise findings for ``repro lint --format json`` / CI."""
+    """Serialise findings for ``repro lint --format json`` / CI.
+
+    The shape of this output is frozen: existing CI consumers parse it,
+    so new formats (SARIF) get their own serialiser instead of new keys.
+    """
     return json.dumps([f.to_dict() for f in findings], indent=2)
+
+
+def findings_to_sarif(findings: Sequence[Finding]) -> str:
+    """Serialise findings as SARIF 2.1.0 for GitHub code scanning."""
+    rules = [
+        {
+            "id": rule.code,
+            "shortDescription": {"text": rule.summary},
+            "help": {"text": rule.hint},
+            "defaultConfiguration": {
+                "level": "note" if rule.code == "SP099" else "error",
+            },
+        }
+        for rule in (RULES[c] for c in sorted(RULES))
+    ]
+    index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = [
+        {
+            "ruleId": f.code,
+            "ruleIndex": index[f.code],
+            "level": "note" if f.code == "SP099" else "error",
+            "message": {"text": f"{f.message} (fix: {f.hint})"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": max(f.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    doc = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)
 
 
 # ----------------------------------------------------------------------
@@ -331,52 +454,136 @@ def _is_set_expr(expr: ast.AST, setish: Set[str]) -> bool:
 
 
 # ----------------------------------------------------------------------
+# suppressions (shared by the per-file linter and the protocol checker)
+# ----------------------------------------------------------------------
+
+class _SuppressEntry:
+    __slots__ = ("line", "col", "codes", "standalone", "used")
+
+    def __init__(self, line: int, col: int,
+                 codes: Optional[Set[str]], standalone: bool) -> None:
+        self.line = line
+        self.col = col
+        self.codes = codes          # None means "all codes"
+        self.standalone = standalone
+        self.used: Set[str] = set()  # codes this entry actually silenced
+
+
+class Suppressions:
+    """``# repro: lint-ok[...]`` comments of one file, with usage
+    tracking so stale suppressions can be reported as SP099.
+
+    Parsed from real COMMENT tokens, so docstrings *mentioning* the
+    marker (like this module's) neither suppress nor go stale."""
+
+    def __init__(self, source: str) -> None:
+        self.entries: Dict[int, _SuppressEntry] = {}
+        lines = source.splitlines()
+        try:
+            tokens = list(tokenize.generate_tokens(
+                io.StringIO(source).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            tokens = []
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if not m:
+                continue
+            line, start_col = tok.start
+            codes: Optional[Set[str]] = None
+            if m.group(1):
+                codes = {c.strip().upper()
+                         for c in m.group(1).split(",") if c.strip()}
+            text = lines[line - 1] if line <= len(lines) else ""
+            standalone = text[:start_col].strip() == ""
+            self.entries[line] = _SuppressEntry(
+                line, start_col + m.start() + 1, codes, standalone)
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """True when ``code`` on ``line`` is silenced (same line, or a
+        standalone comment on the line above); marks the entry used."""
+        entry = self.entries.get(line)
+        if entry is not None and (entry.codes is None or code in entry.codes):
+            entry.used.add(code)
+            return True
+        prev = self.entries.get(line - 1)
+        if prev is not None and prev.standalone \
+                and (prev.codes is None or code in prev.codes):
+            prev.used.add(code)
+            return True
+        return False
+
+    def unused_findings(self, path: str, checked: Set[str]) -> List[Finding]:
+        """SP099 findings for entries that silenced nothing.
+
+        ``checked`` is the set of rule codes this run actually
+        evaluated: a suppression for a rule that was not checked (e.g.
+        protocol rules under ``--no-protocol``) is never reported.
+        """
+        full_run = checked >= (set(RULES) - {"SP000", "SP099"})
+        out: List[Finding] = []
+        for entry in self.entries.values():
+            if entry.codes is None:
+                # a bare lint-ok silences everything, so staleness is
+                # only decidable when every rule was on this run
+                if full_run and not entry.used:
+                    out.append(Finding(
+                        path, entry.line, entry.col, "SP099",
+                        "blanket '# repro: lint-ok' suppresses nothing — "
+                        "no rule fires on this line",
+                    ))
+                continue
+            if "SP099" in entry.codes:
+                continue  # explicitly kept
+            stale = sorted(c for c in entry.codes
+                           if c in checked and c not in entry.used)
+            if not stale:
+                continue
+            codes = ", ".join(stale)
+            out.append(Finding(
+                path, entry.line, entry.col, "SP099",
+                f"suppression 'lint-ok[{codes}]' is stale — "
+                f"{codes} does not fire on this line",
+            ))
+        return out
+
+
+@dataclass
+class LintUnit:
+    """One parsed file, shared between the per-file linter and the
+    whole-program protocol checker."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    @classmethod
+    def parse(cls, source: str, path: str) -> "LintUnit":
+        tree = ast.parse(source, filename=path)
+        return cls(path, source, tree, Suppressions(source))
+
+
+# ----------------------------------------------------------------------
 # per-file linter
 # ----------------------------------------------------------------------
 
 class _FileLint:
-    def __init__(self, tree: ast.Module, path: str, source: str) -> None:
-        self.tree = tree
-        self.path = path
-        self.lines = source.splitlines()
+    def __init__(self, unit: LintUnit) -> None:
+        self.tree = unit.tree
+        self.path = unit.path
+        self.lines = unit.source.splitlines()
         self.findings: List[Finding] = []
         self.numpy_random: Set[str] = set()   # names bound to numpy.random
         self.numpy_aliases: Set[str] = set()  # names bound to numpy itself
         self.random_aliases: Set[str] = set()  # names bound to stdlib random
-        _attach_parents(tree)
-        self._suppressions = self._parse_suppressions()
-
-    # -- suppressions ---------------------------------------------------
-    def _parse_suppressions(self) -> Dict[int, Tuple[Optional[Set[str]], bool]]:
-        """Map line -> (codes or None for all, line_is_pure_comment)."""
-        out: Dict[int, Tuple[Optional[Set[str]], bool]] = {}
-        for i, line in enumerate(self.lines, start=1):
-            m = _SUPPRESS_RE.search(line)
-            if not m:
-                continue
-            codes: Optional[Set[str]] = None
-            if m.group(1):
-                codes = {c.strip().upper() for c in m.group(1).split(",") if c.strip()}
-            standalone = line.strip().startswith("#")
-            out[i] = (codes, standalone)
-        return out
-
-    def _suppressed(self, line: int, code: str) -> bool:
-        entry = self._suppressions.get(line)
-        if entry is not None:
-            codes, _ = entry
-            if codes is None or code in codes:
-                return True
-        prev = self._suppressions.get(line - 1)
-        if prev is not None:
-            codes, standalone = prev
-            if standalone and (codes is None or code in codes):
-                return True
-        return False
+        _attach_parents(self.tree)
+        self._suppressions = unit.suppressions
 
     def _add(self, node: ast.AST, code: str, message: str) -> None:
         line = getattr(node, "lineno", 1)
-        if self._suppressed(line, code):
+        if self._suppressions.is_suppressed(line, code):
             return
         f = Finding(self.path, line, getattr(node, "col_offset", 0) + 1,
                     code, message)
@@ -726,24 +933,63 @@ class _FileLint:
 # public API
 # ----------------------------------------------------------------------
 
-def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+#: rule codes owned by the whole-program checker (repro.analysis.protocol)
+PROTOCOL_CODES = frozenset({
+    "SP107", "SP108", "SP109", "SP110", "SP111", "SP112",
+})
+
+
+def _checked_codes(protocol: bool) -> Set[str]:
+    """Codes a run with/without the protocol pass actually evaluates
+    (drives SP099: un-evaluated rules can't prove a suppression stale)."""
+    checked = set(RULES) - {"SP000", "SP099"}
+    if not protocol:
+        checked -= PROTOCOL_CODES
+    return checked
+
+
+def _run_units(
+    units: Sequence[LintUnit],
+    protocol: bool,
+    checked: Set[str],
+) -> Dict[str, List[Finding]]:
+    """Run the per-file pass, the protocol pass, and the stale-
+    suppression check over parsed units; findings per path, sorted."""
+    by_path: Dict[str, List[Finding]] = {
+        u.path: _FileLint(u).run() for u in units
+    }
+    if protocol and units:
+        from .protocol import check_units
+        for f in check_units(units):
+            by_path.setdefault(f.path, []).append(f)
+    for u in units:
+        fs = by_path[u.path]
+        fs.extend(u.suppressions.unused_findings(u.path, checked))
+        fs.sort(key=lambda f: (f.line, f.col, f.code))
+    return by_path
+
+
+def lint_source(source: str, path: str = "<string>", *,
+                protocol: bool = True) -> List[Finding]:
     """Lint python ``source``; returns findings sorted by position.
 
     A file that fails to parse yields one SP000 finding instead of
     raising, so one broken file cannot abort a whole-tree lint run.
+    ``protocol=False`` skips the whole-program SP107–SP112 pass.
     """
     try:
-        tree = ast.parse(source, filename=path)
+        unit = LintUnit.parse(source, path)
     except SyntaxError as exc:
         return [Finding(path, exc.lineno or 1, (exc.offset or 1) - 1,
                         "SP000", f"syntax error: {exc.msg}")]
-    return _FileLint(tree, path, source).run()
+    return _run_units([unit], protocol, _checked_codes(protocol))[path]
 
 
-def lint_file(path: Union[str, Path]) -> List[Finding]:
+def lint_file(path: Union[str, Path], *, protocol: bool = True) -> List[Finding]:
     """Lint one file."""
     p = Path(path)
-    return lint_source(p.read_text(encoding="utf-8"), str(p))
+    return lint_source(p.read_text(encoding="utf-8"), str(p),
+                       protocol=protocol)
 
 
 def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
@@ -763,16 +1009,39 @@ def lint_paths(
     paths: Iterable[Union[str, Path]],
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    *,
+    protocol: bool = True,
 ) -> List[Finding]:
     """Lint every ``.py`` file under ``paths`` (files or directories).
 
+    The protocol pass sees *all* the files at once, so cross-module
+    rank programs (stage singletons, registry entry points) resolve.
     ``select``/``ignore`` restrict the reported rule codes.
     """
     selected = {c.upper() for c in select} if select else None
     ignored = {c.upper() for c in ignore} if ignore else set()
-    findings: List[Finding] = []
+    checked = _checked_codes(protocol)
+    if selected is not None:
+        checked &= selected
+    checked -= ignored
+
+    ordered: List[Union[LintUnit, Finding]] = []
     for p in iter_python_files(paths):
-        findings.extend(lint_file(p))
+        src = p.read_text(encoding="utf-8")
+        try:
+            ordered.append(LintUnit.parse(src, str(p)))
+        except SyntaxError as exc:
+            ordered.append(Finding(str(p), exc.lineno or 1,
+                                   (exc.offset or 1) - 1,
+                                   "SP000", f"syntax error: {exc.msg}"))
+    units = [e for e in ordered if isinstance(e, LintUnit)]
+    by_path = _run_units(units, protocol, checked)
+    findings: List[Finding] = []
+    for e in ordered:
+        if isinstance(e, Finding):
+            findings.append(e)
+        else:
+            findings.extend(by_path.get(e.path, ()))
     return [
         f for f in findings
         if (selected is None or f.code in selected) and f.code not in ignored

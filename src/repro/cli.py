@@ -150,18 +150,31 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="static SPMD-correctness checks (rules SP101-SP106) over "
+        help="static SPMD-correctness checks (per-file rules SP101-SP106 "
+             "plus the whole-program protocol rules SP107-SP112) over "
              "Python sources",
     )
-    lint.add_argument("paths", nargs="+",
+    lint.add_argument("paths", nargs="*",
                       help="files or directories to lint")
-    lint.add_argument("--format", default="text", choices=["text", "json"],
-                      dest="fmt", help="output format (json for CI)")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json", "sarif"],
+                      dest="fmt", help="output format (json for CI, sarif "
+                                       "for GitHub code scanning)")
     lint.add_argument("--select", metavar="CODES",
                       help="comma-separated rule codes to enable "
                            "(default: all)")
     lint.add_argument("--ignore", metavar="CODES",
                       help="comma-separated rule codes to disable")
+    lint.add_argument("--protocol", dest="protocol", action="store_true",
+                      default=True,
+                      help="run the whole-program protocol checker "
+                           "(SP107-SP112; the default)")
+    lint.add_argument("--no-protocol", dest="protocol", action="store_false",
+                      help="skip the whole-program protocol checker")
+    lint.add_argument("--registry", action="store_true",
+                      help="also model-check every registered MethodSpec's "
+                           "distributed entry point against the repro "
+                           "package tree")
     return ap
 
 
@@ -419,18 +432,39 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from .analysis import findings_to_json, lint_paths
+    from .analysis import findings_to_json, findings_to_sarif, lint_paths
 
+    if not args.paths and not args.registry:
+        print("repro lint: no paths given (and --registry not set)",
+              file=sys.stderr)
+        return 2
     select = set(args.select.split(",")) if args.select else None
     ignore = set(args.ignore.split(",")) if args.ignore else None
-    findings = lint_paths(args.paths, select=select, ignore=ignore)
+    t0 = time.perf_counter()
+    findings = lint_paths(args.paths, select=select, ignore=ignore,
+                          protocol=args.protocol)
+    if args.registry:
+        from .analysis import check_registry
+
+        reg_findings, entry_points = check_registry()
+        seen = set(findings)
+        findings = findings + [f for f in reg_findings if f not in seen]
+        print(f"# registry: checked {len(entry_points)} distributed "
+              f"entry point{'s' if len(entry_points) != 1 else ''} "
+              f"({', '.join(entry_points)})", file=sys.stderr)
+    elapsed = time.perf_counter() - t0
     if args.fmt == "json":
         print(findings_to_json(findings))
+    elif args.fmt == "sarif":
+        print(findings_to_sarif(findings))
     else:
         for f in findings:
             print(f.format())
         n = len(findings)
         print(f"# {n} finding{'s' if n != 1 else ''}", file=sys.stderr)
+    # analyzer runtime regression canary for the CI job log
+    print(f"# lint-timing: {elapsed:.2f}s "
+          f"(protocol={'on' if args.protocol else 'off'})", file=sys.stderr)
     return 1 if findings else 0
 
 

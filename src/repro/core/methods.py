@@ -62,6 +62,7 @@ __all__ = [
     "method_names",
     "cli_choices",
     "distributed_methods",
+    "distributed_entry_points",
     "methods_table",
     "recovery_ladder",
 ]
@@ -189,6 +190,16 @@ def distributed_methods() -> List[MethodSpec]:
     ``backend="sim"`` and ``backend="procs"``.
     """
     return [s for s in METHOD_REGISTRY.values() if s.distributed is not None]
+
+
+def distributed_entry_points() -> List[Tuple[str, Callable]]:
+    """``(method name, rank program)`` for every registered method with
+    a distributed path — the roots the whole-program protocol checker
+    (:mod:`repro.analysis.protocol`, ``repro lint --registry``)
+    model-checks for schedule divergence and unmatched point-to-point
+    traffic before a procs run can deadlock on them.
+    """
+    return [(s.name, s.distributed) for s in distributed_methods()]
 
 
 def recovery_ladder(spec: MethodSpec) -> List[Tuple[str, MethodSpec]]:

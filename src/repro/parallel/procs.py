@@ -51,6 +51,7 @@ import os
 import queue as _queue
 import time
 import traceback
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -61,6 +62,7 @@ from .. import errors as _errors
 from ..errors import (
     BudgetExceededError,
     CommError,
+    CommWarning,
     ConfigError,
     DeadlockError,
     RankFailure,
@@ -73,6 +75,7 @@ from .engine import (
     _Group,
     _Op,
     _copy_payload,
+    _env_sanitize,
     _op_words,
     _reduce_values,
 )
@@ -95,6 +98,25 @@ _SHM_THRESHOLD = 1 << 16
 _POLL = 0.1
 
 _RUN_COUNTER = itertools.count()
+
+#: one-shot latch for the REPRO_SANITIZE-is-ignored warning, so a CI
+#: shard that launches hundreds of procs runs sees the notice once
+_ENV_SANITIZE_WARNED = False
+
+
+def _warn_env_sanitize_ignored() -> None:
+    global _ENV_SANITIZE_WARNED
+    if _ENV_SANITIZE_WARNED:
+        return
+    _ENV_SANITIZE_WARNED = True
+    warnings.warn(
+        "REPRO_SANITIZE is set but backend='procs' cannot sanitize: the "
+        "payload sanitizer is simulated-only, so this run is NOT "
+        "sanitized.  Unset REPRO_SANITIZE or use backend='sim' "
+        "(pass sanitize=True explicitly to make this an error).",
+        CommWarning,
+        stacklevel=3,
+    )
 
 #: diagnostics of the most recent run in this process (leak tests)
 _LAST_RUN: Dict[str, Any] = {}
@@ -752,6 +774,8 @@ def run_spmd_procs(
     import multiprocessing as mp
 
     _validate(nranks, copy_mode, sanitize, faults, max_sim_seconds)
+    if sanitize is None and _env_sanitize():
+        _warn_env_sanitize_ignored()
     if op_timeout is None:
         op_timeout = DEFAULT_OP_TIMEOUT
 

@@ -235,6 +235,7 @@ class TestPointToPoint:
 
     def test_deadlock_detected(self):
         def prog(comm):
+            # deliberate: nobody sends  # repro: lint-ok[SP107]
             got = yield from comm.recv(source=(comm.rank + 1) % comm.size)
             return got
 
@@ -445,7 +446,7 @@ class TestCollectiveProperties:
     def test_parked_recv_without_sender_names_op(self):
         def prog(comm):
             if comm.rank == 0:
-                got = yield from comm.recv(source=1, tag=7)
+                got = yield from comm.recv(source=1, tag=7)  # repro: lint-ok[SP107]
                 return got
             return None
 

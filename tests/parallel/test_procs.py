@@ -20,6 +20,7 @@ from repro.core.parallel import RetryPolicy, run_parallel
 from repro.errors import (
     BudgetExceededError,
     CommError,
+    CommWarning,
     ConfigError,
     DeadlockError,
     RankFailure,
@@ -27,6 +28,7 @@ from repro.errors import (
 from repro.graph.distributed import Shared
 from repro.graph.generators import random_delaunay
 from repro.parallel import ZERO_COST, procs_available, run_spmd
+from repro.parallel import procs as procs_mod
 from repro.parallel.faults import FaultPlan, KillRank
 from repro.parallel.procs import (
     _LAST_RUN,
@@ -189,7 +191,7 @@ class TestProcsLifecycle:
     def test_deadlock_carries_parked_context(self):
         def prog(comm):
             if comm.rank == 0:
-                yield from comm.recv(source=1, tag=7)  # nobody sends
+                yield from comm.recv(source=1, tag=7)  # nobody sends  # repro: lint-ok[SP107]
             return comm.rank
 
         with pytest.raises(DeadlockError) as ei:
@@ -221,10 +223,27 @@ class TestSimOnlyGates:
         with pytest.raises(ConfigError, match="simulated-only"):
             run_spmd(_ring, 2, backend="procs", sanitize=True)
 
-    def test_env_sanitize_is_ignored(self, monkeypatch):
+    def test_env_sanitize_is_ignored_with_warning(self, monkeypatch):
         monkeypatch.setenv("REPRO_SANITIZE", "1")
-        res = run_spmd(_ring, 2, machine=ZERO_COST, backend="procs")
+        monkeypatch.setattr(procs_mod, "_ENV_SANITIZE_WARNED", False)
+        with pytest.warns(CommWarning, match="REPRO_SANITIZE"):
+            res = run_spmd(_ring, 2, machine=ZERO_COST, backend="procs")
         assert len(res.values) == 2
+
+    def test_env_sanitize_warning_fires_once(self, monkeypatch, recwarn):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        monkeypatch.setattr(procs_mod, "_ENV_SANITIZE_WARNED", False)
+        with pytest.warns(CommWarning):
+            run_spmd(_ring, 2, machine=ZERO_COST, backend="procs")
+        recwarn.clear()
+        run_spmd(_ring, 2, machine=ZERO_COST, backend="procs")
+        assert not [w for w in recwarn if issubclass(w.category, CommWarning)]
+
+    def test_no_warning_without_env(self, monkeypatch, recwarn):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        monkeypatch.setattr(procs_mod, "_ENV_SANITIZE_WARNED", False)
+        run_spmd(_ring, 2, machine=ZERO_COST, backend="procs")
+        assert not [w for w in recwarn if issubclass(w.category, CommWarning)]
 
     def test_message_faults_rejected(self):
         plan = FaultPlan(drop_rate=0.1)
