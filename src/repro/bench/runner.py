@@ -85,7 +85,8 @@ def _cache_key(method: str, graph: str, p: int, backend: str = "sim",
 
 def _execute(method: str, graph_name: str, p: int,
              backend: str = "sim", parts: int = 2,
-             cost_model: str = "unit") -> PartitionResult:
+             cost_model: str = "unit",
+             checkpoint=None) -> PartitionResult:
     if method not in METHODS:
         raise ConfigError(
             f"unknown bench method {method!r}; known: {list(METHODS)}"
@@ -99,7 +100,8 @@ def _execute(method: str, graph_name: str, p: int,
         # report cut ranges across P)
         return run_parallel(spec, g, p, coords=coords,
                             seed=BENCH_SEED ^ (p * 7919), machine=MACHINE,
-                            backend=backend, k=parts, cost_model=cost_model)
+                            backend=backend, k=parts, cost_model=cost_model,
+                            checkpoint=checkpoint)
     if backend != "sim":
         raise ConfigError(
             f"method {method!r} has no distributed k-way path; "
@@ -117,8 +119,17 @@ def _execute(method: str, graph_name: str, p: int,
 
 def run_method(method: str, graph_name: str, p: int = 1,
                use_cache: bool = True, backend: str = "sim",
-               parts: int = 2, cost_model: str = "unit") -> RunRecord:
-    """Run (or fetch from cache) one cell of the evaluation grid."""
+               parts: int = 2, cost_model: str = "unit",
+               checkpoint=None) -> RunRecord:
+    """Run (or fetch from cache) one cell of the evaluation grid.
+
+    ``checkpoint`` (a store directory or
+    :class:`~repro.parallel.checkpoint.CheckpointPolicy`) lets long
+    sweeps restart cheaply after a crash: resumed cells recompute only
+    the post-embedding stages.  It is deliberately NOT part of the
+    cache key — a resumed run feeds the same persisted embedding the
+    fresh run produced, so both land on the same partition.
+    """
     key = _cache_key(method, graph_name, p, backend, parts, cost_model)
     if use_cache and key in _MEMO:
         return _MEMO[key]
@@ -127,7 +138,8 @@ def run_method(method: str, graph_name: str, p: int = 1,
         rec = RunRecord(**json.loads(path.read_text()))
         _MEMO[key] = rec
         return rec
-    res = _execute(method, graph_name, p, backend, parts, cost_model)
+    res = _execute(method, graph_name, p, backend, parts, cost_model,
+                   checkpoint=checkpoint)
     stats = res.extras.get("comm_stats")
     rec = RunRecord(
         method=method,

@@ -71,6 +71,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         "per rank on real cores")
     p.add_argument("--nranks", type=int, default=4,
                    help="ranks for --backend sim/procs")
+    p.add_argument("--checkpoint", metavar="DIR",
+                   help="durable stage-checkpoint store for --backend "
+                        "sim/procs: completed embeddings persist here and "
+                        "later runs (or recovery retries) resume from them")
 
     e = sub.add_parser("embed", help="compute planar coordinates for a graph")
     e.add_argument("graph")
@@ -125,6 +129,17 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="number of parts (k != 2 needs native k-way "
                         "methods)")
     c.add_argument("--nranks", type=int, default=8)
+    c.add_argument("--backend", default="sim", choices=["sim", "procs"],
+                   help="executor to inject faults into (procs = one real "
+                        "worker process per rank; kills become SIGKILL)")
+    c.add_argument("--checkpoint", metavar="DIR",
+                   help="durable stage-checkpoint store: recovery retries "
+                        "resume from the persisted embedding instead of "
+                        "recomputing it")
+    c.add_argument("--op-timeout", type=float, default=None,
+                   dest="op_timeout",
+                   help="per-op receive timeout for --backend procs "
+                        "(seconds; also bounds stall detection)")
     c.add_argument("--plans", type=int, default=4,
                    help="seeded fault plans per method")
     c.add_argument("--seed", type=int, default=0)
@@ -244,7 +259,8 @@ def _cmd_partition(args) -> int:
             )
         res = run_parallel(spec, graph, args.nranks, coords=coords,
                            seed=args.seed, backend=args.backend,
-                           k=k, cost_model=args.cost_model)
+                           k=k, cost_model=args.cost_model,
+                           checkpoint=args.checkpoint)
         pids = res.extras.get("pids")
         if pids is not None:
             print(f"# backend=procs nranks={args.nranks} "
@@ -391,6 +407,8 @@ def _cmd_chaos(args) -> int:
                     spec, graph, args.nranks, coords=coords,
                     seed=args.seed, faults=plan, retry=retry,
                     max_steps=args.max_steps, k=args.k,
+                    backend=args.backend, op_timeout=args.op_timeout,
+                    checkpoint=args.checkpoint,
                 )
             except ReproError as exc:
                 run["status"] = "failed"
@@ -411,6 +429,8 @@ def _cmd_chaos(args) -> int:
         "graph": gname,
         "vertices": graph.num_vertices,
         "nranks": args.nranks,
+        "backend": args.backend,
+        "checkpoint": args.checkpoint,
         "parts": args.k,
         "seed": args.seed,
         "plans_per_method": args.plans,
@@ -425,8 +445,8 @@ def _cmd_chaos(args) -> int:
             fh.write(text)
     else:
         sys.stdout.write(text)
-    print(f"# chaos: {counts['ok']} clean, {counts['recovered']} recovered, "
-          f"{counts['failed']} failed "
+    print(f"# chaos[{args.backend}]: {counts['ok']} clean, "
+          f"{counts['recovered']} recovered, {counts['failed']} failed "
           f"of {len(runs)} runs", file=sys.stderr)
     return 1 if counts["failed"] else 0
 

@@ -97,6 +97,13 @@ class MethodSpec:
     #: ``cost_model`` keywords and label vertices in ``[0, k)``
     #: (bisection methods reach k > 2 via recursive bisection instead)
     kway: bool = False
+    #: stages whose artifacts the rank program persists when a
+    #: checkpoint context is threaded in (the program must accept a
+    #: ``checkpoint=`` keyword); empty = not checkpointable
+    checkpoint_stages: Tuple[str, ...] = ()
+    #: registered method that re-enters the pipeline downstream of a
+    #: persisted embed artifact (fed via ``coords=``) on resume
+    resume_method: Optional[str] = None
     #: one-line description (README method table, ``--help`` text)
     description: str = ""
 
@@ -124,6 +131,8 @@ def register_method(
     balance_bound: Optional[float] = None,
     accepts_config: bool = False,
     kway: bool = False,
+    checkpoint_stages: Tuple[str, ...] = (),
+    resume_method: Optional[str] = None,
     description: str = "",
 ):
     """Decorator: register the decorated sequential entry point.
@@ -144,6 +153,8 @@ def register_method(
             balance_bound=balance_bound,
             accepts_config=accepts_config,
             kway=kway,
+            checkpoint_stages=checkpoint_stages,
+            resume_method=resume_method,
             description=description,
         )
         if spec.name in METHOD_REGISTRY:
@@ -247,9 +258,18 @@ def methods_table() -> str:
 # ----------------------------------------------------------------------
 
 def _dist_scalapart(comm, graph, *, coords=None, config=None, seed=None,
-                    max_imbalance=None):
-    """Full distributed ScalaPart: the three shared stages in order."""
+                    max_imbalance=None, checkpoint=None):
+    """Full distributed ScalaPart: the three shared stages in order.
+
+    ``checkpoint`` is a
+    :class:`~repro.parallel.checkpoint.CheckpointContext`; rank 0
+    persists the completed embedding so a later attempt (or process)
+    can resume from stages 3–4.  The save is pure rank-local I/O — no
+    communication happens on the rank-0-only branch.
+    """
     emb = yield from EMBED_STAGE.run_dist(comm, graph, None, config, seed)
+    if checkpoint is not None and comm.rank == 0:
+        checkpoint.save_artifact("embed", emb)
     geo = yield from GEOMETRIC_STAGE.run_dist(comm, graph, emb, config, seed)
     side, info = yield from STRIP_REFINE_STAGE.run_dist(comm, graph, geo,
                                                         config, seed)
@@ -286,7 +306,8 @@ def _dist_rcb(comm, graph, *, coords=None, config=None, seed=None,
 
 
 def _dist_kway_geometric(comm, graph, *, coords=None, config=None, seed=None,
-                         max_imbalance=None, k=2, cost_model=None):
+                         max_imbalance=None, k=2, cost_model=None,
+                         checkpoint=None):
     """Direct k-way: embed (unless coords given), K-cell assignment,
     root-side greedy boundary refinement."""
     from .cost import resolve_costs
@@ -295,6 +316,8 @@ def _dist_kway_geometric(comm, graph, *, coords=None, config=None, seed=None,
     info = {}
     if coords is None:
         emb = yield from EMBED_STAGE.run_dist(comm, graph, None, config, seed)
+        if checkpoint is not None and comm.rank == 0:
+            checkpoint.save_artifact("embed", emb)
         info = {**emb.info, "pos": emb.coords}
         coords = emb
     parts, kinfo = yield from KWAY_GEOMETRIC_STAGE.run_dist(
@@ -322,6 +345,7 @@ def _wrap_gmt(res: GMTResult, name: str, seconds: float) -> PartitionResult:
 @register_method(
     "ScalaPart", distributed=_dist_scalapart, seed_salt=1,
     accepts_config=True,
+    checkpoint_stages=("embed",), resume_method="SP-PG7-NL",
     description="full pipeline: coarsen, lattice-embed, circles, strip FM",
 )
 def _scalapart(graph, coords=None, *, config=None, seed=None):
@@ -407,6 +431,7 @@ def _g7_nl(graph, coords=None, *, config=None, seed=None):
     distributed=_dist_kway_geometric, seed_salt=5,
     default_max_imbalance=0.05, balance_bound=0.10,
     accepts_config=True, kway=True,
+    checkpoint_stages=("embed",), resume_method="KWay-Geometric",
     description="direct k-way: K centroid cells on the sphere + boundary refine",
 )
 def _kway_geometric(graph, coords=None, *, config=None, seed=None, k=2,

@@ -39,6 +39,7 @@ partition.  The full attempt trail lands in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
@@ -47,6 +48,7 @@ import numpy as np
 from ..errors import CommError, ConfigError, PartitionError, ReproError
 from ..graph.csr import CSRGraph
 from ..graph.partition import Bisection, KWayPartition
+from ..parallel.checkpoint import CheckpointContext, as_policy
 from ..parallel.engine import run_spmd
 from ..parallel.faults import FaultPlan
 from ..parallel.machine import MachineModel, QDR_CLUSTER
@@ -73,6 +75,9 @@ __all__ = [
 #: caller's seed; attempt k reruns with derive_seed(seed, salt, k))
 _RETRY_SALT = 0x5AFE
 
+#: seed-salting namespace for the retry backoff jitter draw
+_JITTER_SALT = 0x117E4
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -84,14 +89,32 @@ class RetryPolicy:
     registry's :func:`~repro.core.methods.recovery_ladder` is descended.
     ``validate_imbalance`` is the balance bound applied to recovered
     partitions whose method declares no ``balance_bound`` of its own.
+
+    ``base_delay`` > 0 sleeps before every re-attempt:
+    ``base_delay * backoff**(epoch-1)`` stretched by up to ``jitter``
+    (multiplicatively, ``1 + jitter*u`` with ``u`` drawn via
+    :func:`~repro.rng.derive_seed` from the run seed), so concurrent
+    retries of many jobs de-stampede deterministically per seed.  The
+    default 0 keeps recovery immediate; each attempt's actual sleep is
+    recorded as ``"delay"`` in the ``extras["recovery"]`` trail.
     """
 
     retries: int = 1
     backoff: float = 2.0
+    base_delay: float = 0.0
+    jitter: float = 0.5
     shrink: bool = True
     min_ranks: int = 2
     fallback: bool = True
     validate_imbalance: float = 0.15
+
+    def delay_for(self, seed: SeedLike, epoch: int) -> float:
+        """Deterministic jittered backoff delay before attempt ``epoch``."""
+        if self.base_delay <= 0.0 or epoch <= 0:
+            return 0.0
+        u = derive_seed(seed, _JITTER_SALT, epoch) / float(2 ** 63)
+        return self.base_delay * self.backoff ** (epoch - 1) \
+            * (1.0 + self.jitter * u)
 
 
 def dist_scalapart(
@@ -194,29 +217,61 @@ def _engine_attempt(
     op_timeout=None,
     k=2,
     cost_model=None,
+    checkpoint: Optional[CheckpointContext] = None,
 ) -> PartitionResult:
-    """One engine run of ``spec`` on ``nranks`` ranks, packaged+validated."""
+    """One engine run of ``spec`` on ``nranks`` ranks, packaged+validated.
+
+    With a :class:`~repro.parallel.checkpoint.CheckpointContext`, the
+    attempt first probes the store for the last durable stage: a
+    verified embed artifact swaps the run to ``spec.resume_method`` fed
+    the persisted coordinates (skipping re-coarsening + re-embedding),
+    while an unusable artifact is ignored — recorded in
+    ``extras["checkpoint"]["ignored"]`` — and the full pipeline runs,
+    persisting its own embed stage for the next attempt.
+    """
     target = (max_imbalance if max_imbalance is not None
               else spec.default_max_imbalance)
-    extra_kwargs = {}
-    if spec.kway:
-        extra_kwargs = {"k": k, "cost_model": cost_model}
+
+    run_spec = spec
+    run_coords = coords
+    resumed_from = None
+    if (checkpoint is not None and coords is None
+            and checkpoint.can_resume(spec)):
+        artifact = checkpoint.load_stage(spec.checkpoint_stages[-1])
+        if artifact is not None:
+            run_spec = get_method(spec.resume_method)
+            run_coords = artifact
+            resumed_from = artifact.stage
+    save_ctx = checkpoint if (checkpoint is not None and resumed_from is None
+                              and checkpoint.can_save(spec)) else None
 
     def prog(comm):
-        return (yield from spec.distributed(
-            comm, graph, coords=coords, config=config, seed=seed,
-            max_imbalance=target, **extra_kwargs,
+        kw = {}
+        if run_spec.kway:
+            kw.update(k=k, cost_model=cost_model)
+        if save_ctx is not None:
+            kw["checkpoint"] = save_ctx
+        return (yield from run_spec.distributed(
+            comm, graph, coords=run_coords, config=config, seed=seed,
+            max_imbalance=target, **kw,
         ))
 
-    engine_seed = 0 if spec.seed_salt is None else derive_seed(seed,
-                                                               spec.seed_salt)
+    engine_seed = 0 if run_spec.seed_salt is None \
+        else derive_seed(seed, run_spec.seed_salt)
     res = run_spmd(prog, nranks, machine=machine, seed=engine_seed,
                    copy_mode=copy_mode, sanitize=sanitize, faults=faults,
                    max_steps=max_steps, max_sim_seconds=max_sim_seconds,
                    backend=backend, op_timeout=op_timeout)
     costs = resolve_costs(graph, cost_model) if spec.kway else None
-    return _package(graph, res, spec.name, max_imbalance=spec.balance_bound,
-                    k=k, costs=costs, is_kway=spec.kway)
+    out = _package(graph, res, spec.name, max_imbalance=spec.balance_bound,
+                   k=k, costs=costs, is_kway=spec.kway)
+    if checkpoint is not None:
+        out.extras["checkpoint"] = {
+            "resumed_from": resumed_from,
+            "store": str(checkpoint.policy.store.root),
+            "ignored": list(checkpoint.ignored),
+        }
+    return out
 
 
 def _layout_coords(graph: CSRGraph, seed: SeedLike):
@@ -256,6 +311,7 @@ def _run_recovering(
     op_timeout=None,
     k=2,
     cost_model=None,
+    checkpoint: Optional[CheckpointContext] = None,
 ) -> PartitionResult:
     """Descend the recovery ladder until an attempt yields a valid cut."""
     attempts: List[Dict[str, Any]] = []
@@ -273,12 +329,16 @@ def _run_recovering(
         rec["cut"] = int(out.cut_size)
         rec["imbalance"] = float(out.imbalance)
         attempts.append(rec)
-        out.extras["recovery"] = {
+        recovery: Dict[str, Any] = {
             "attempts": attempts,
             "recovered": len(attempts) > 1,
             "final_method": aspec.name,
             "final_nranks": rec["nranks"],
         }
+        ck = out.extras.get("checkpoint")
+        if ck is not None:
+            recovery["resumed_from"] = ck.get("resumed_from")
+        out.extras["recovery"] = recovery
         return out
 
     def engine_attempt(step: str, aspec: MethodSpec,
@@ -287,10 +347,13 @@ def _run_recovering(
         scale = retry.backoff ** epoch
         aseed = seed if epoch == 0 else derive_seed(seed, _RETRY_SALT, epoch)
         plan = None if faults is None else faults.for_attempt(epoch)
+        delay = retry.delay_for(seed, epoch)
         rec: Dict[str, Any] = {"step": step, "mode": "engine",
                                "method": aspec.name, "nranks": p,
-                               "attempt": epoch}
+                               "attempt": epoch, "delay": delay}
         epoch += 1
+        if delay > 0.0:
+            time.sleep(delay)
         try:
             out = _engine_attempt(
                 aspec, graph, p, coords=coords, config=config, seed=aseed,
@@ -299,8 +362,11 @@ def _run_recovering(
                 max_steps=_scaled(max_steps, scale),
                 max_sim_seconds=_scaled(max_sim_seconds, scale),
                 backend=backend, op_timeout=op_timeout,
-                k=k, cost_model=cost_model,
+                k=k, cost_model=cost_model, checkpoint=checkpoint,
             )
+            ck = out.extras.get("checkpoint")
+            if ck is not None and ck.get("resumed_from"):
+                rec["resumed_from"] = ck["resumed_from"]
             out.validate(bound_for(aspec))
         except (CommError, PartitionError) as exc:
             rec["status"] = "failed"
@@ -313,10 +379,13 @@ def _run_recovering(
     def sequential_attempt(aspec: MethodSpec) -> Optional[PartitionResult]:
         nonlocal epoch, last_exc
         aseed = derive_seed(seed, _RETRY_SALT, epoch)
+        delay = retry.delay_for(seed, epoch)
         rec: Dict[str, Any] = {"step": "fallback", "mode": "sequential",
                                "method": aspec.name, "nranks": 1,
-                               "attempt": epoch}
+                               "attempt": epoch, "delay": delay}
         epoch += 1
+        if delay > 0.0:
+            time.sleep(delay)
         try:
             scoords = None
             if aspec.needs_coords:
@@ -411,6 +480,7 @@ def run_parallel(
     op_timeout: Optional[float] = None,
     k: int = 2,
     cost_model=None,
+    checkpoint=None,
 ) -> PartitionResult:
     """Run a registered method on ``nranks`` virtual ranks.
 
@@ -447,6 +517,20 @@ def run_parallel(
     :class:`~repro.core.cost.CostModel`, or a per-vertex array) and is
     forwarded to k-way rank programs; recovered k-way fallbacks run
     recursive bisection + k-way refinement under the same model.
+
+    ``checkpoint`` enables stage-durable elastic recovery: a directory
+    path, :class:`~repro.parallel.checkpoint.CheckpointStore` or
+    :class:`~repro.parallel.checkpoint.CheckpointPolicy`.  Methods that
+    declare ``checkpoint_stages`` persist their completed embedding
+    (atomic, crc-verified, keyed by graph hash × config fingerprint ×
+    seed × stage); every attempt — including the primary one, so a
+    restarted process benefits too — probes the store first and, on a
+    strictly verified hit, resumes downstream of the artifact via the
+    spec's ``resume_method`` instead of re-coarsening and re-embedding.
+    Any key mismatch or corrupt payload demotes to a full recompute.
+    The outcome is reported in ``extras["checkpoint"]`` (and mirrored
+    as ``extras["recovery"]["resumed_from"]`` when a retry policy is
+    active).
     """
     spec = method if isinstance(method, MethodSpec) else get_method(method)
     if spec.distributed is None:
@@ -468,6 +552,11 @@ def run_parallel(
         )
     if spec.needs_coords:
         coords = as_coords(coords)
+    policy = as_policy(checkpoint)
+    ctx = None
+    if policy is not None:
+        ctx = CheckpointContext.for_run(policy, graph, spec, config, seed,
+                                        k=k, cost_model=cost_model)
     if retry is None:
         return _engine_attempt(
             spec, graph, nranks, coords=coords, config=config, seed=seed,
@@ -475,7 +564,7 @@ def run_parallel(
             max_imbalance=max_imbalance, faults=faults,
             max_steps=max_steps, max_sim_seconds=max_sim_seconds,
             backend=backend, op_timeout=op_timeout,
-            k=k, cost_model=cost_model,
+            k=k, cost_model=cost_model, checkpoint=ctx,
         )
     return _run_recovering(
         spec, graph, nranks, coords=coords, config=config, seed=seed,
@@ -483,7 +572,7 @@ def run_parallel(
         max_imbalance=max_imbalance, faults=faults, retry=retry,
         max_steps=max_steps, max_sim_seconds=max_sim_seconds,
         backend=backend, op_timeout=op_timeout,
-        k=k, cost_model=cost_model,
+        k=k, cost_model=cost_model, checkpoint=ctx,
     )
 
 

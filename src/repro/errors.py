@@ -97,3 +97,21 @@ class CommWarning(UserWarning):
 
 class ConfigError(ReproError):
     """Raised for invalid configuration values."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint artifact cannot be used (missing, corrupt, or keyed
+    to a different run).
+
+    Raised by :meth:`~repro.parallel.checkpoint.CheckpointStore.load`;
+    the resume path in :func:`~repro.core.parallel.run_parallel` always
+    catches it — an unusable checkpoint demotes to a full recompute,
+    never to a failed run.
+    """
+
+
+class CheckpointWarning(UserWarning):
+    """A checkpoint artifact was found but ignored (corrupt payload,
+    crc mismatch, stale key).  The run continues with a full recompute;
+    the warning names the file and the reason so operators can clean up
+    a poisoned checkpoint directory."""

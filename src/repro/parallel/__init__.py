@@ -1,5 +1,11 @@
 """SPMD virtual machine: coroutine ranks, MPI-like API, Hockney costs."""
 
+from .checkpoint import (
+    CheckpointKey,
+    CheckpointPolicy,
+    CheckpointStore,
+    graph_content_hash,
+)
 from .engine import Comm, payload_words, run_spmd
 from .faults import (
     FaultEvent,
@@ -22,6 +28,10 @@ from .trace import (
 )
 
 __all__ = [
+    "CheckpointKey",
+    "CheckpointPolicy",
+    "CheckpointStore",
+    "graph_content_hash",
     "Comm",
     "payload_words",
     "run_spmd",

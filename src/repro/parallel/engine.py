@@ -493,6 +493,9 @@ class _Engine:
         self.max_sim_seconds = max_sim_seconds
         self.steps = 0
         self.op_counts = [0] * nranks if faults is not None else None
+        # sender-local send ordinals: the cross-backend fault site (the
+        # procs backend counts the same per-rank sequence)
+        self.send_counts = [0] * nranks if faults is not None else None
         self.fault_events: List[FaultEvent] = []
         self.dead: Dict[int, FaultEvent] = {}
         self.nranks = nranks
@@ -587,6 +590,7 @@ def run_spmd(
     max_sim_seconds: Optional[float] = None,
     backend: str = "sim",
     op_timeout: Optional[float] = None,
+    stall_timeout: Optional[float] = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute rank program ``fn`` on ``nranks`` virtual ranks.
@@ -627,8 +631,11 @@ def run_spmd(
     rank (:func:`~repro.parallel.procs.run_spmd_procs`) with measured
     wall-clock timing.  ``op_timeout`` bounds how long a procs-backend
     rank may block on one operation before a
-    :class:`~repro.errors.DeadlockError` (ignored by the simulator,
-    which detects deadlocks exactly).  An unknown backend raises
+    :class:`~repro.errors.DeadlockError`; ``stall_timeout`` bounds how
+    long the procs parent tolerates *every* live rank sitting blocked
+    at once before declaring a global deadlock via its heartbeat
+    supervisor (both ignored by the simulator, which detects deadlocks
+    exactly).  An unknown backend raises
     ``ValueError`` — catching typos that the engine's ``**kwargs``
     forwarding used to swallow silently.
     """
@@ -646,7 +653,7 @@ def run_spmd(
             fn, nranks, *args, machine=machine, seed=seed,
             copy_mode=copy_mode, sanitize=sanitize, faults=faults,
             max_steps=max_steps, max_sim_seconds=max_sim_seconds,
-            op_timeout=op_timeout, **kwargs,
+            op_timeout=op_timeout, stall_timeout=stall_timeout, **kwargs,
         )
     if nranks < 1:
         raise CommError(f"nranks must be >= 1, got {nranks}")
@@ -876,8 +883,13 @@ def _do_send(eng: _Engine, grank: int, op: _Op) -> None:
     fault = None
     if eng.faults is not None:
         # eng.messages is the global send ordinal (deterministic rank
-        # scheduling order), the site a plan's message faults key on
-        fault = eng.faults.message_fault(eng.messages)
+        # scheduling order); the sender-local ordinal is the site shared
+        # with the procs backend, so random rates and rank-scoped
+        # scheduled faults fire on the same logical messages there
+        local_index = eng.send_counts[grank]
+        eng.send_counts[grank] = local_index + 1
+        fault = eng.faults.message_fault(eng.messages, sender=grank,
+                                         sender_index=local_index)
     key = (grank, gdst, op.tag, op.cid)
     if fault is None:
         eng.mailbox.setdefault(key, deque()).append(
@@ -913,8 +925,10 @@ def _fault_send(eng: _Engine, grank: int, gdst: int, op: _Op, key,
             (arrival, words, eng.deliver(op.value, op.copy), cksum)
         )
     elif kind == "corrupt":
+        # salt with the sender-local ordinal: the procs backend perturbs
+        # the same element of the same logical message
         payload, detail = corrupt_payload(eng.deliver(op.value, op.copy),
-                                          msg_index)
+                                          eng.send_counts[grank] - 1)
         # cksum (taken at post time) is deliberately kept: under
         # sanitize the mismatch is caught at delivery
         eng.mailbox.setdefault(key, deque()).append(

@@ -97,7 +97,7 @@ class FaultEvent:
     dest: int = -1       #: global destination rank (message faults)
     tag: int = -1        #: message tag (message faults)
     op_index: int = -1   #: rank-local op ordinal (kills)
-    msg_index: int = -1  #: global send ordinal (message faults)
+    msg_index: int = -1  #: send ordinal (global on sim, sender-local on procs)
     phase: str = ""      #: phase of the affected rank at injection
     detail: str = ""     #: human-readable description
 
@@ -139,15 +139,23 @@ class KillRank:
 class MessageFault:
     """Apply ``kind`` to the ``index``-th point-to-point send of the run.
 
-    ``index`` is the global send ordinal (the engine counts every
-    ``comm.send`` in deterministic scheduling order).  ``delay`` is the
-    extra simulated seconds for ``kind="delay"``.
+    With ``rank=None`` (the default) ``index`` is the *global* send
+    ordinal — the simulator counts every ``comm.send`` in deterministic
+    scheduling order.  Real processes have no global ordinal, so the
+    procs backend rejects globally-indexed faults; give ``rank`` to key
+    the fault on that sender's ``index``-th own send instead (the
+    sender-local ordinal is identical on both backends, so a
+    rank-scoped fault fires at the same logical message everywhere).
+    ``delay`` is the extra seconds for ``kind="delay"`` (simulated on
+    the sim backend, wall-clock on procs).
     """
 
     kind: str
     index: int
     delay: float = 0.0
     attempts: Optional[Tuple[int, ...]] = (0,)
+    #: restrict to one sender and count its own sends (cross-backend)
+    rank: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in MESSAGE_FAULT_KINDS:
@@ -218,21 +226,45 @@ class FaultPlan:
                             rank, op_index) < self.kill_rate
         return False
 
-    def message_fault(self, msg_index: int) -> Optional[Tuple[str, float]]:
-        """Fault (kind, delay-seconds) for the ``msg_index``-th send,
-        or ``None`` for clean delivery."""
+    def message_fault(
+        self,
+        msg_index: Optional[int],
+        sender: Optional[int] = None,
+        sender_index: Optional[int] = None,
+    ) -> Optional[Tuple[str, float]]:
+        """Fault (kind, delay-seconds) for one posted send, or ``None``
+        for clean delivery.
+
+        ``msg_index`` is the global send ordinal (simulator; ``None``
+        on the procs backend, which has no global order).  ``sender`` /
+        ``sender_index`` identify the same send by its sender-local
+        ordinal — available on both backends, and when present they are
+        the site random rates hash on, so a plan's random faults land
+        on the same logical messages under ``backend="sim"`` and
+        ``backend="procs"``.
+        """
         for m in self.messages:
-            if m.index == msg_index and self._active(m.attempts):
+            if not self._active(m.attempts):
+                continue
+            if m.rank is None:
+                if msg_index is not None and m.index == msg_index:
+                    return m.kind, m.delay
+            elif sender is not None and m.rank == sender \
+                    and m.index == sender_index:
                 return m.kind, m.delay
         rates = (("drop", self.drop_rate), ("duplicate", self.duplicate_rate),
                  ("delay", self.delay_rate), ("corrupt", self.corrupt_rate))
+        # sender-local site when known (cross-backend reproducible);
+        # legacy global site otherwise (direct plan queries)
+        site: Tuple[int, ...] = ((sender, sender_index)
+                                 if sender is not None else (msg_index,))
         for pos, (kind, rate) in enumerate(rates):
             if rate > 0.0 and _uniform(self.seed, self.attempt, _SALT_MSG,
-                                       pos, msg_index) < rate:
+                                       pos, *site) < rate:
                 delay = 0.0
                 if kind == "delay":
                     delay = self.mean_delay * (0.5 + _uniform(
-                        self.seed, self.attempt, _SALT_DELAY, msg_index))
+                        self.seed, self.attempt, _SALT_DELAY, *site))
                 return kind, delay
         return None
 

@@ -32,15 +32,42 @@ What differs (and is documented in DESIGN §"Execution backends"):
 clocks are *measured wall seconds* (not Hockney-model estimates), so
 clock-dependent outputs are excluded from parity; ``copy_mode`` always
 behaves defensively (process isolation copies every payload);
-``sanitize=True``, message faults, fault rates and ``max_sim_seconds``
-are simulated-only and raise :class:`~repro.errors.ConfigError`;
-``max_steps`` is enforced per rank rather than globally.  Scheduled
-:class:`~repro.parallel.faults.KillRank` faults *are* supported — the
-worker ``os._exit``\\ s and the parent surfaces a typed
-:class:`~repro.errors.RankFailure`.  A blocked operation times out
-after ``op_timeout`` seconds and raises a
-:class:`~repro.errors.DeadlockError` carrying the same parked-op
-context dict the simulator reports.
+``sanitize=True`` and ``max_sim_seconds`` are simulated-only and raise
+:class:`~repro.errors.ConfigError`; ``max_steps`` is enforced per rank
+rather than globally.
+
+Fault injection is real here.  Scheduled
+:class:`~repro.parallel.faults.KillRank` faults ``os._exit`` the worker
+and the parent surfaces a typed :class:`~repro.errors.RankFailure`.
+Message faults (drop / duplicate / delay / corrupt — scheduled via
+rank-scoped :class:`~repro.parallel.faults.MessageFault` or random
+rates) are injected by the *sender* at the :class:`_Router` queue
+layer, keyed on the sender-local send ordinal with the same
+counter-based hashing the simulator uses, so one plan lands its random
+faults on the same logical messages under both backends.  Globally
+indexed scheduled faults (``MessageFault(rank=None)``) stay
+simulated-only — real processes have no global send order — and
+``max_kills`` caps random kills per *worker* rather than per run (no
+worker can observe another's death).  ``delay`` sleeps wall-clock
+seconds at the receiver.  Injected faults ship back with each
+surviving worker's result and land on ``SpmdResult.faults``
+(best-effort: a killed or failed worker's events are lost with it).
+
+Two layers of supervision bound a faulted run.  Per op: a blocked
+operation polls its inbox with exponential backoff and raises
+:class:`~repro.errors.DeadlockError` (with the simulator's parked-op
+context dict) after ``op_timeout`` seconds.  Per run: every worker
+publishes a heartbeat — ops completed, blocked/running state, and its
+parked-op context — through shared arrays; when *every* live
+unfinished worker has sat blocked for ``stall_timeout`` seconds the
+parent declares the run deadlocked immediately instead of waiting out
+the full per-op timeout (a dropped message stalls the whole job, and
+chaos sweeps cannot afford 120 s per injected drop).
+
+On startup the parent also sweeps stale ``rpr``-prefixed ``/dev/shm``
+segments whose creating process is gone (a previously *crashed* parent
+never reached its own exit-path sweep) and reports the swept names via
+:class:`~repro.errors.CommWarning`.
 """
 
 from __future__ import annotations
@@ -49,6 +76,7 @@ import glob
 import itertools
 import os
 import queue as _queue
+import re
 import time
 import traceback
 import warnings
@@ -79,14 +107,20 @@ from .engine import (
     _op_words,
     _reduce_values,
 )
-from .faults import FaultPlan
+from .faults import FaultEvent, FaultPlan, corrupt_payload
 from .machine import MachineModel, QDR_CLUSTER
 from .trace import CommStats, DEFAULT_PHASE, PhaseBreakdown, SpmdResult
 
-__all__ = ["run_spmd_procs", "procs_available", "DEFAULT_OP_TIMEOUT"]
+__all__ = ["run_spmd_procs", "procs_available", "DEFAULT_OP_TIMEOUT",
+           "DEFAULT_STALL_TIMEOUT"]
 
 #: default seconds a blocked op waits before raising DeadlockError
 DEFAULT_OP_TIMEOUT = 120.0
+
+#: default seconds of *every* live rank sitting blocked before the
+#: parent's heartbeat supervisor declares a global deadlock (clamped to
+#: op_timeout; a single blocked rank still waits the full op_timeout)
+DEFAULT_STALL_TIMEOUT = 20.0
 
 #: worker exit code signalling an injected KillRank (not a crash)
 _KILLED_EXIT = 66
@@ -269,59 +303,162 @@ def _drain_segments(obj: Any) -> None:
 # worker side
 # ----------------------------------------------------------------------
 
+#: park-kind encoding for the heartbeat channel (fixed order)
+_PARK_KINDS: Tuple[str, ...] = ("recv",) + tuple(sorted(_COLLECTIVES))
+
+#: bytes reserved per rank for the heartbeat's phase label
+_PHASE_BYTES = 24
+
+
+class _Heartbeat:
+    """Shared-array liveness channel between the workers and the parent.
+
+    Each worker is the sole writer of its own slots: completed-op
+    counter, running/blocked/done state with the monotonic time of the
+    last transition, and (while blocked) the parked-op context the
+    simulator's :class:`~repro.errors.DeadlockError` reports.  The
+    parent reads the arrays lock-free — staleness of one poll interval
+    is harmless because the supervisor only acts on *sustained*
+    all-blocked states.
+    """
+
+    _RUNNING, _BLOCKED, _DONE = 0, 1, 2
+
+    def __init__(self, nranks: int) -> None:
+        from multiprocessing.sharedctypes import RawArray
+
+        self.nranks = nranks
+        self.state = RawArray("i", nranks)
+        self.since = RawArray("d", [time.monotonic()] * nranks)
+        self.ops = RawArray("q", nranks)
+        self.kind = RawArray("i", [-1] * nranks)
+        self.peer = RawArray("i", [-1] * nranks)
+        self.tag = RawArray("i", [-1] * nranks)
+        self.phase = RawArray("c", _PHASE_BYTES * nranks)
+
+    # -- worker-side writers --------------------------------------------
+    def blocked(self, rank: int, parked: Dict[str, Any]) -> None:
+        try:
+            ki = _PARK_KINDS.index(parked.get("kind"))
+        except ValueError:
+            ki = -1
+        self.kind[rank] = ki
+        peer = parked.get("peer")
+        tag = parked.get("tag")
+        self.peer[rank] = -1 if peer is None else int(peer)
+        self.tag[rank] = -1 if tag is None else int(tag)
+        raw = str(parked.get("phase", "")).encode("utf-8",
+                                                  "replace")[:_PHASE_BYTES]
+        base = rank * _PHASE_BYTES
+        self.phase[base:base + _PHASE_BYTES] = raw.ljust(_PHASE_BYTES, b"\x00")
+        self.since[rank] = time.monotonic()
+        self.state[rank] = self._BLOCKED
+
+    def running(self, rank: int) -> None:
+        self.state[rank] = self._RUNNING
+        self.since[rank] = time.monotonic()
+
+    def op_done(self, rank: int) -> None:
+        self.ops[rank] += 1
+
+    def done(self, rank: int) -> None:
+        self.state[rank] = self._DONE
+        self.since[rank] = time.monotonic()
+
+    # -- parent-side reader ---------------------------------------------
+    def parked_of(self, rank: int) -> Dict[str, Any]:
+        ki = self.kind[rank]
+        peer = self.peer[rank]
+        tag = self.tag[rank]
+        base = rank * _PHASE_BYTES
+        raw = bytes(self.phase[base:base + _PHASE_BYTES])
+        return {
+            "rank": rank,
+            "kind": _PARK_KINDS[ki] if 0 <= ki < len(_PARK_KINDS) else "?",
+            "peer": None if peer < 0 else int(peer),
+            "tag": None if tag < 0 else int(tag),
+            "comm": None,
+            "phase": raw.rstrip(b"\x00").decode("utf-8", "replace"),
+        }
+
+
 class _Router:
     """This worker's view of the message fabric.
 
-    One inbound queue per rank; messages are ``(key, words, encoded)``
-    tuples.  Out-of-order arrivals are buffered per key, preserving
-    per-key FIFO order (the engine's (src, dst, tag, comm) delivery
-    contract).
+    One inbound queue per rank; messages are ``(key, words, encoded,
+    due)`` tuples (``due`` is a monotonic not-before time for delayed
+    messages, 0.0 otherwise).  Out-of-order arrivals are buffered per
+    key, preserving per-key FIFO order (the engine's (src, dst, tag,
+    comm) delivery contract).  Blocking fetches poll with per-op
+    exponential backoff — cheap sub-millisecond first polls for the
+    common fast delivery, capped growth while parked — and publish
+    their parked context on the heartbeat channel so the parent's
+    supervisor can diagnose a global stall.
     """
 
     def __init__(self, inboxes: List[Any], grank: int,
-                 timeout: float) -> None:
+                 timeout: float, hb: Optional[_Heartbeat] = None) -> None:
         self.inboxes = inboxes
         self.grank = grank
         self.timeout = timeout
+        self.hb = hb
         self._buffer: Dict[Tuple, deque] = {}
 
     def post(self, dst_grank: int, key: Tuple, words: float,
-             encoded: Any) -> None:
-        self.inboxes[dst_grank].put((key, words, encoded))
+             encoded: Any, due: float = 0.0) -> None:
+        self.inboxes[dst_grank].put((key, words, encoded, due))
+
+    @staticmethod
+    def _honor_due(words: float, encoded: Any, due: float):
+        if due:
+            wait = due - time.monotonic()
+            if wait > 0:
+                time.sleep(wait)
+        return words, encoded
 
     def fetch(self, key: Tuple, desc: str, parked: Dict[str, Any]):
         """Blocking receive of the message filed under ``key``."""
         buf = self._buffer.get(key)
         if buf:
-            return buf.popleft()
+            return self._honor_due(*buf.popleft())
         deadline = time.monotonic() + self.timeout
         inbox = self.inboxes[self.grank]
-        while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise DeadlockError(
-                    f"procs backend: rank {self.grank} made no progress for "
-                    f"{self.timeout:.6g}s waiting on {desc} "
-                    f"[phase {parked['phase']!r}]",
-                    parked=[parked],
-                )
-            try:
-                k, words, encoded = inbox.get(timeout=min(remaining, 0.25))
-            except _queue.Empty:
-                continue
-            if k == key:
-                return words, encoded
-            self._buffer.setdefault(k, deque()).append((words, encoded))
+        if self.hb is not None:
+            self.hb.blocked(self.grank, parked)
+        poll = 0.002
+        try:
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlockError(
+                        f"procs backend: rank {self.grank} made no progress "
+                        f"for {self.timeout:.6g}s waiting on {desc} "
+                        f"[phase {parked['phase']!r}]",
+                        parked=[parked],
+                    )
+                try:
+                    k, words, encoded, due = inbox.get(
+                        timeout=min(remaining, poll))
+                except _queue.Empty:
+                    poll = min(poll * 2.0, 0.25)
+                    continue
+                if k == key:
+                    return self._honor_due(words, encoded, due)
+                self._buffer.setdefault(k, deque()).append(
+                    (words, encoded, due))
+        finally:
+            if self.hb is not None:
+                self.hb.running(self.grank)
 
     def drain(self) -> None:
         """Consume leftover segments so nothing leaks on normal exit."""
         for q in self._buffer.values():
-            for _, encoded in q:
+            for _, encoded, _ in q:
                 _drain_segments(encoded)
         inbox = self.inboxes[self.grank]
         while True:
             try:
-                _, _, encoded = inbox.get_nowait()
+                _, _, encoded, _ = inbox.get_nowait()
             except _queue.Empty:
                 return
             _drain_segments(encoded)
@@ -334,13 +471,19 @@ class _WorkerSide:
 
     def __init__(self, grank: int, nranks: int, machine: MachineModel,
                  seed: SeedLike, router: _Router,
-                 seg: _SegmentFactory) -> None:
+                 seg: _SegmentFactory,
+                 faults: Optional[FaultPlan] = None,
+                 hb: Optional[_Heartbeat] = None) -> None:
         self.grank = grank
         self.nranks = nranks
         self.machine = machine
         self.rngs = spawn_streams(seed, nranks)
         self.router = router
         self.seg = seg
+        self.faults = faults
+        self.hb = hb
+        self.send_count = 0
+        self.fault_events: List[FaultEvent] = []
         self.clocks = np.zeros(nranks)
         self.comp_time = 0.0
         self.comm_time = 0.0
@@ -418,8 +561,18 @@ def _execute_op(side: _WorkerSide, op: _Op) -> Any:
             )
         gdst = group.members[op.dest]
         words = _op_words(op)
-        encoded = _encode_payload(op.value, side.seg)
-        side.router.post(gdst, ("p", me, op.tag, op.cid), words, encoded)
+        key = ("p", me, op.tag, op.cid)
+        fault = None
+        if side.faults is not None:
+            local_index = side.send_count
+            side.send_count = local_index + 1
+            fault = side.faults.message_fault(None, sender=me,
+                                              sender_index=local_index)
+        if fault is None:
+            side.router.post(gdst, key, words,
+                             _encode_payload(op.value, side.seg))
+        else:
+            _fault_post(side, gdst, op, key, words, fault, local_index)
         side.messages += 1
         side.words_sent += words
         stats = side.stats_for(me)
@@ -445,6 +598,45 @@ def _execute_op(side: _WorkerSide, op: _Op) -> Any:
     if op.kind in _COLLECTIVES:
         return _collective(side, group, op)
     raise CommError(f"unhandled op kind {op.kind!r}")  # pragma: no cover
+
+
+def _fault_post(side: _WorkerSide, gdst: int, op: _Op, key: Tuple,
+                words: float, fault: Tuple[str, float],
+                local_index: int) -> None:
+    """Apply one message fault to a posted send (slow path).
+
+    Mirrors the simulator's ``_fault_send``: drop never posts, duplicate
+    posts two independent encodings, delay stamps a wall-clock not-before
+    time honoured by the receiver, corrupt perturbs the same element the
+    simulator would (salted by the sender-local ordinal).  The event's
+    ``msg_index`` is the sender-local ordinal — real processes have no
+    global send order.
+    """
+    kind, delay = fault
+    detail = ""
+    if kind == "drop":
+        pass  # the message is simply never posted
+    elif kind == "duplicate":
+        side.router.post(gdst, key, words,
+                         _encode_payload(op.value, side.seg))
+        side.router.post(gdst, key, words,
+                         _encode_payload(op.value, side.seg))
+    elif kind == "delay":
+        detail = f"delayed by {delay:.6g}s"
+        side.router.post(gdst, key, words,
+                         _encode_payload(op.value, side.seg),
+                         due=time.monotonic() + delay)
+    elif kind == "corrupt":
+        payload, detail = corrupt_payload(op.value, local_index)
+        side.router.post(gdst, key, words,
+                         _encode_payload(payload, side.seg))
+    else:  # pragma: no cover - guarded by MessageFault.__post_init__
+        raise CommError(f"unhandled message-fault kind {kind!r}")
+    side.fault_events.append(FaultEvent(
+        kind=kind, time=float(side.clocks[side.grank]), rank=side.grank,
+        dest=gdst, tag=op.tag, msg_index=local_index, phase=side.phase,
+        detail=detail,
+    ))
 
 
 def _collective(side: _WorkerSide, group: _Group, op: _Op) -> Any:
@@ -621,19 +813,23 @@ def _drive(side: _WorkerSide, gen, plan: Optional[FaultPlan],
             os._exit(_KILLED_EXIT)
         op_index += 1
         value = _execute_op(side, op)
+        if side.hb is not None:
+            side.hb.op_done(side.grank)
         side.mark_comm()
 
 
 def _worker_entry(rank: int, nranks: int, fn, args, kwargs,
                   machine: MachineModel, seed: SeedLike, prefix: str,
                   inboxes, results_q, plan: Optional[FaultPlan],
-                  max_steps: Optional[int], op_timeout: float) -> None:
+                  max_steps: Optional[int], op_timeout: float,
+                  hb: Optional[_Heartbeat]) -> None:
     """Process entry point for one rank (fork: everything inherited)."""
     import inspect
 
     seg = _SegmentFactory(prefix, rank)
-    router = _Router(inboxes, rank, op_timeout)
-    side = _WorkerSide(rank, nranks, machine, seed, router, seg)
+    router = _Router(inboxes, rank, op_timeout, hb=hb)
+    side = _WorkerSide(rank, nranks, machine, seed, router, seg,
+                       faults=plan, hb=hb)
     world = _Group(0, tuple(range(nranks)))
     side.groups[0] = world
     comm = side.make_comm(world, rank)
@@ -655,6 +851,7 @@ def _worker_entry(rank: int, nranks: int, fn, args, kwargs,
             "messages": side.messages,
             "collectives": side.collectives,
             "words_sent": side.words_sent,
+            "faults": [ev.to_dict() for ev in side.fault_events],
         }, seg)
         results_q.put(("done", rank, payload))
     except BaseException as exc:  # noqa: BLE001 - reconstructed in parent
@@ -666,6 +863,8 @@ def _worker_entry(rank: int, nranks: int, fn, args, kwargs,
         results_q.put(("error", rank, type(exc).__name__, str(exc), attrs,
                        traceback.format_exc()))
     finally:
+        if hb is not None:
+            hb.done(rank)
         results_q.close()
         results_q.join_thread()
 
@@ -696,14 +895,15 @@ def _validate(nranks: int, copy_mode: str, sanitize: Optional[bool],
             "modelled clock); use max_steps or op_timeout instead"
         )
     if faults is not None:
-        if faults.messages or faults.kill_rate or faults.drop_rate \
-                or faults.duplicate_rate or faults.delay_rate \
-                or faults.corrupt_rate:
-            raise ConfigError(
-                "backend='procs' supports scheduled KillRank faults only; "
-                "message faults and random rates need the simulator's "
-                "deterministic global scheduler"
-            )
+        for m in faults.messages:
+            if m.rank is None:
+                raise ConfigError(
+                    "backend='procs' cannot honour a globally-indexed "
+                    "MessageFault: real processes have no global send "
+                    "ordinal.  Key the fault on its sender instead — "
+                    "MessageFault(kind, index, rank=R) counts rank R's own "
+                    "sends, identically on both backends"
+                )
     if not procs_available():
         raise CommError(
             "backend='procs' requires the fork start method "
@@ -749,6 +949,49 @@ def _sweep_segments(prefix: str) -> List[str]:
     return sorted(leaked)
 
 
+_STALE_SEGMENT_RE = re.compile(r"^rpr([0-9a-f]+)g")
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OverflowError, OSError):
+        return True  # exists (or unknowable) — leave its segments alone
+    return True
+
+
+def _sweep_stale_segments() -> List[str]:
+    """Remove ``rpr``-prefixed segments whose creating parent is gone.
+
+    A *crashed* parent never reaches its own exit-path sweep, so its
+    run's segments would accumulate in /dev/shm across runs.  Segment
+    names embed the creating parent's pid (``rpr{pid:x}g…``); anything
+    from a dead pid — other than our own — is fair game.  Returns the
+    swept names so the caller can surface them in a CommWarning.
+    """
+    swept = []
+    own = os.getpid()
+    for path in glob.glob("/dev/shm/rpr*"):
+        name = os.path.basename(path)
+        m = _STALE_SEGMENT_RE.match(name)
+        if m is None:
+            continue
+        try:
+            pid = int(m.group(1), 16)
+        except ValueError:  # pragma: no cover - regex guarantees hex
+            continue
+        if pid == own or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        swept.append(name)
+    return sorted(swept)
+
+
 def run_spmd_procs(
     fn,
     nranks: int,
@@ -761,6 +1004,7 @@ def run_spmd_procs(
     max_steps: Optional[int] = None,
     max_sim_seconds: Optional[float] = None,
     op_timeout: Optional[float] = None,
+    stall_timeout: Optional[float] = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute rank program ``fn`` on ``nranks`` worker *processes*.
@@ -770,6 +1014,12 @@ def run_spmd_procs(
     for the semantic differences.  The returned
     :class:`~repro.parallel.trace.SpmdResult` has ``backend="procs"``,
     wall-clock timing accounts, and the per-rank worker ``pids``.
+
+    ``stall_timeout`` bounds a *global* stall: when every live
+    unfinished worker has sat blocked that long, the parent raises
+    :class:`~repro.errors.DeadlockError` without waiting out the full
+    per-op ``op_timeout``.  Defaults to
+    ``min(op_timeout, DEFAULT_STALL_TIMEOUT)``.
     """
     import multiprocessing as mp
 
@@ -778,16 +1028,29 @@ def run_spmd_procs(
         _warn_env_sanitize_ignored()
     if op_timeout is None:
         op_timeout = DEFAULT_OP_TIMEOUT
+    if stall_timeout is None:
+        stall_timeout = min(op_timeout, DEFAULT_STALL_TIMEOUT)
+
+    stale = _sweep_stale_segments()
+    if stale:
+        warnings.warn(
+            f"backend='procs' swept {len(stale)} stale shared-memory "
+            "segment(s) left behind by dead processes: "
+            + ", ".join(stale),
+            CommWarning,
+            stacklevel=2,
+        )
 
     ctx = mp.get_context("fork")
     prefix = f"rpr{os.getpid():x}g{next(_RUN_COUNTER):x}"
     inboxes = [ctx.Queue() for _ in range(nranks)]
     results_q = ctx.Queue()
+    hb = _Heartbeat(nranks)
     workers = [
         ctx.Process(
             target=_worker_entry,
             args=(r, nranks, fn, args, kwargs, machine, seed, prefix,
-                  inboxes, results_q, faults, max_steps, op_timeout),
+                  inboxes, results_q, faults, max_steps, op_timeout, hb),
             daemon=True,
         )
         for r in range(nranks)
@@ -796,7 +1059,7 @@ def run_spmd_procs(
     error: Optional[Tuple] = None
     report = _LAST_RUN
     report.clear()
-    report.update({"prefix": prefix, "leaked": None})
+    report.update({"prefix": prefix, "leaked": None, "stale_swept": stale})
     try:
         for w in workers:
             w.start()
@@ -829,9 +1092,14 @@ def run_spmd_procs(
                 if r in done or error is not None:
                     break
                 at_op = _scheduled_kill_for(faults, r)
-                if w.exitcode == _KILLED_EXIT and at_op is not None:
-                    detail = (f"rank {r} was killed (injected fault) at "
-                              f"op {at_op} and never returned")
+                if w.exitcode == _KILLED_EXIT:
+                    if at_op is not None:
+                        where = f"at op {at_op}"
+                    else:
+                        where = (f"at op {int(hb.ops[r])} "
+                                 "(random kill_rate draw)")
+                    detail = (f"rank {r} was killed (injected fault) "
+                              f"{where} and never returned")
                 else:
                     detail = (f"rank {r} worker process died with exit code "
                               f"{w.exitcode} before returning a result")
@@ -839,6 +1107,24 @@ def run_spmd_procs(
                     "procs backend: " + detail, dead_rank=r, phase="",
                     sim_time=0.0,
                 )
+            if error is not None:
+                continue
+            # heartbeat supervision: when every live unfinished worker
+            # has sat blocked for stall_timeout, no message can ever
+            # arrive — declare the deadlock now instead of waiting out
+            # the full per-op timeout
+            pending = [r for r, w in enumerate(workers)
+                       if r not in done and w.exitcode is None]
+            if pending and all(hb.state[r] == _Heartbeat._BLOCKED
+                               for r in pending):
+                newest = max(hb.since[r] for r in pending)
+                if time.monotonic() - newest > stall_timeout:
+                    raise DeadlockError(
+                        f"procs backend: all {len(pending)} unfinished "
+                        f"rank(s) sat blocked for {stall_timeout:.6g}s "
+                        "(heartbeat supervision); the run was terminated",
+                        parked=[hb.parked_of(r) for r in pending],
+                    )
             if time.monotonic() > deadline:
                 raise DeadlockError(
                     f"procs backend: no worker produced a result within "
@@ -872,6 +1158,7 @@ def run_spmd_procs(
     messages = 0
     collectives = 0
     words_sent = 0.0
+    fault_events: List[FaultEvent] = []
     for r in range(nranks):
         rec = done[r]
         values[r] = rec["value"]
@@ -882,6 +1169,8 @@ def run_spmd_procs(
         messages += rec["messages"]
         collectives += rec["collectives"]
         words_sent += rec["words_sent"]
+        for d in rec.get("faults", ()):
+            fault_events.append(FaultEvent(**d))
         for name, (comp, comm) in rec["phase_acc"].items():
             ph = phases.get(name)
             if ph is None:
@@ -903,7 +1192,7 @@ def run_spmd_procs(
         collectives=collectives,
         words_sent=words_sent,
         comm_stats=CommStats.aggregate(stats, nranks),
-        faults=[],
+        faults=fault_events,
         backend="procs",
         pids=pids,
     )

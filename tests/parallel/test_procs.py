@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import glob
 import os
+import warnings
 
 import numpy as np
 import pytest
@@ -29,7 +30,7 @@ from repro.graph.distributed import Shared
 from repro.graph.generators import random_delaunay
 from repro.parallel import ZERO_COST, procs_available, run_spmd
 from repro.parallel import procs as procs_mod
-from repro.parallel.faults import FaultPlan, KillRank
+from repro.parallel.faults import FaultPlan, KillRank, MessageFault
 from repro.parallel.procs import (
     _LAST_RUN,
     _SHM_THRESHOLD,
@@ -245,11 +246,165 @@ class TestSimOnlyGates:
         run_spmd(_ring, 2, machine=ZERO_COST, backend="procs")
         assert not [w for w in recwarn if issubclass(w.category, CommWarning)]
 
-    def test_message_faults_rejected(self):
-        plan = FaultPlan(drop_rate=0.1)
-        with pytest.raises(ConfigError, match="scheduled KillRank"):
+    def test_global_ordinal_message_fault_rejected(self):
+        plan = FaultPlan(messages=(MessageFault("drop", 0),))
+        with pytest.raises(ConfigError, match="global send"):
             run_spmd(_ring, 2, backend="procs", faults=plan)
 
     def test_max_sim_seconds_rejected(self):
         with pytest.raises(ConfigError, match="max_sim_seconds"):
             run_spmd(_ring, 2, backend="procs", max_sim_seconds=1.0)
+
+
+# ----------------------------------------------------------------------
+# message-fault injection on real processes
+# ----------------------------------------------------------------------
+
+def _chatty_ring(comm):
+    """Five send/recv ring rounds — enough p2p traffic for message
+    faults to land — then an allreduce over everything received."""
+    vals = []
+    dst = (comm.rank + 1) % comm.size
+    src = (comm.rank - 1) % comm.size
+    for i in range(5):
+        yield from comm.send(np.full(8, comm.rank * 10 + i, dtype=np.int64),
+                             dest=dst, tag=i)
+        got = yield from comm.recv(source=src, tag=i)
+        vals.append(int(got.sum()))  # whole payload: corruption shows
+    total = yield from comm.allreduce(float(sum(vals)), op="sum")
+    return total
+
+
+def _event_sites(res):
+    """Backend-comparable view of injected faults: ``msg_index`` is
+    global on sim but sender-local on procs, so compare everything
+    else."""
+    return sorted((ev.kind, ev.rank, ev.dest, ev.tag) for ev in res.faults)
+
+
+@needs_procs
+class TestProcsMessageFaults:
+    def test_scheduled_corrupt_matches_sim(self):
+        """A rank-scoped corrupt fault lands on the same message on
+        both backends and produces identical (corrupted) results."""
+        plan = FaultPlan(seed=9, messages=(
+            MessageFault("corrupt", 2, rank=1),))
+        sim = run_spmd(_chatty_ring, 4, machine=ZERO_COST, faults=plan)
+        prc = run_spmd(_chatty_ring, 4, machine=ZERO_COST, faults=plan,
+                       backend="procs", op_timeout=60.0)
+        assert sim.values == prc.values
+        assert _event_sites(sim) == _event_sites(prc) != []
+        clean = run_spmd(_chatty_ring, 4, machine=ZERO_COST)
+        assert sim.values != clean.values  # the corruption was observed
+
+    def test_scheduled_delay_is_harmless_and_recorded(self):
+        plan = FaultPlan(seed=9, mean_delay=0.01, messages=(
+            MessageFault("delay", 1, rank=2),))
+        clean = run_spmd(_chatty_ring, 4, machine=ZERO_COST)
+        prc = run_spmd(_chatty_ring, 4, machine=ZERO_COST, faults=plan,
+                       backend="procs", op_timeout=60.0)
+        assert prc.values == clean.values
+        (ev,) = prc.faults
+        assert ev.kind == "delay" and ev.rank == 2 and ev.msg_index == 1
+        assert "delayed by" in ev.detail
+
+    def test_random_rates_match_sim(self):
+        """Rate-drawn duplicate/delay faults hash the same
+        ``(sender, sender_index)`` sites on both backends."""
+        plan = FaultPlan(seed=31, duplicate_rate=0.2, delay_rate=0.3,
+                         mean_delay=0.005)
+        with warnings.catch_warnings():
+            # sim warns about undelivered duplicate copies at completion
+            warnings.simplefilter("ignore", CommWarning)
+            sim = run_spmd(_chatty_ring, 4, machine=ZERO_COST, faults=plan)
+        prc = run_spmd(_chatty_ring, 4, machine=ZERO_COST, faults=plan,
+                       backend="procs", op_timeout=60.0)
+        assert sim.values == prc.values
+        assert _event_sites(sim) == _event_sites(prc) != []
+
+    def test_procs_fault_injection_is_deterministic(self):
+        plan = FaultPlan(seed=5, corrupt_rate=0.25)
+        runs = [run_spmd(_chatty_ring, 4, machine=ZERO_COST, faults=plan,
+                         backend="procs", op_timeout=60.0)
+                for _ in range(2)]
+        assert runs[0].values == runs[1].values
+        assert _event_sites(runs[0]) == _event_sites(runs[1])
+
+    def test_dropped_message_trips_stall_supervision(self):
+        """A dropped send parks the receiver forever; the heartbeat
+        supervisor raises DeadlockError with parked context well before
+        the per-op timeout."""
+        plan = FaultPlan(seed=9, messages=(
+            MessageFault("drop", 0, rank=0),))
+        with pytest.raises(DeadlockError) as ei:
+            run_spmd(_chatty_ring, 4, machine=ZERO_COST, faults=plan,
+                     backend="procs", op_timeout=120.0, stall_timeout=2.0)
+        parked = ei.value.parked
+        assert parked  # every pending rank reports where it sits
+        kinds = {p["kind"] for p in parked}
+        assert kinds <= {"recv", "allreduce"} and "recv" in kinds
+
+    def test_registered_methods_survive_message_rates(self):
+        """Registered methods are collective-only (zero p2p sends), so
+        message-fault rates are a no-op on them — the partition matches
+        the fault-free run exactly."""
+        mesh = random_delaunay(200, seed=7)
+        plan = FaultPlan(seed=3, drop_rate=0.5, corrupt_rate=0.5)
+        clean = run_parallel("RCB", mesh.graph, 4, coords=mesh.coords,
+                             seed=7, backend="procs")
+        faulty = run_parallel("RCB", mesh.graph, 4, coords=mesh.coords,
+                              seed=7, backend="procs", faults=plan)
+        assert np.array_equal(clean.parts, faulty.parts)
+
+
+# ----------------------------------------------------------------------
+# stale-segment sweep (crashed parents' leftovers)
+# ----------------------------------------------------------------------
+
+@needs_procs
+class TestStaleSegmentSweep:
+    def _dead_pid(self):
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)  # pragma: no cover - child exits immediately
+        os.waitpid(pid, 0)
+        return pid
+
+    def test_dead_parents_segments_swept_and_reported(self):
+        name = f"rpr{self._dead_pid():x}g0r1s2"
+        path = f"/dev/shm/{name}"
+        with open(path, "wb") as fh:
+            fh.write(b"\0" * 64)
+        try:
+            with pytest.warns(CommWarning, match="stale shared-memory"):
+                res = run_spmd(_ring, 2, machine=ZERO_COST,
+                               backend="procs")
+            assert len(res.values) == 2
+            assert name in _LAST_RUN["stale_swept"]
+            assert not os.path.exists(path)
+        finally:
+            if os.path.exists(path):
+                os.unlink(path)
+
+    def test_live_parents_segments_left_alone(self):
+        name = f"rpr{os.getpid():x}g7fr0s0"
+        path = f"/dev/shm/{name}"
+        with open(path, "wb") as fh:
+            fh.write(b"\0" * 64)
+        try:
+            res = run_spmd(_ring, 2, machine=ZERO_COST, backend="procs")
+            assert len(res.values) == 2
+            assert _LAST_RUN["stale_swept"] == []
+            assert os.path.exists(path)
+        finally:
+            os.unlink(path)
+
+    def test_foreign_shm_names_untouched(self):
+        path = "/dev/shm/repro-unrelated-segment"
+        with open(path, "wb") as fh:
+            fh.write(b"\0" * 8)
+        try:
+            run_spmd(_ring, 2, machine=ZERO_COST, backend="procs")
+            assert os.path.exists(path)
+        finally:
+            os.unlink(path)

@@ -221,3 +221,45 @@ class TestTrace:
         rc = main(["trace", path, "--method", "parmetis", "--nranks", "4"])
         assert rc == 0
         assert "nranks=4" in capsys.readouterr().out
+
+
+class TestChaos:
+    def _report(self, tmp_path, *extra):
+        import json
+
+        out = tmp_path / "report.json"
+        rc = main(["chaos", "--n", "150", "--seed", "5", "--nranks", "4",
+                   "--plans", "1", "--kill-op", "7", "--out", str(out),
+                   *extra])
+        return rc, json.loads(out.read_text())
+
+    def test_records_backend_and_recovers(self, tmp_path):
+        rc, report = self._report(tmp_path)
+        assert rc == 0
+        assert report["backend"] == "sim"
+        assert report["checkpoint"] is None
+        assert report["summary"]["failed"] == 0
+        # --kill-op 7 lands in strip refinement on this mesh: the run
+        # must come back recovered, not clean
+        assert report["summary"]["recovered"] == 1
+
+    def test_checkpoint_resume_surfaces_in_report(self, tmp_path):
+        ckdir = tmp_path / "ck"
+        rc, report = self._report(tmp_path, "--checkpoint", str(ckdir),
+                                  "--backend", "sim")
+        assert rc == 0
+        assert report["checkpoint"] == str(ckdir)
+        (run,) = report["runs"]
+        assert run["status"] == "recovered"
+        assert run["recovery"]["resumed_from"] == "embed"
+        assert list(ckdir.glob("embed-*.npz"))
+
+    def test_procs_backend_recorded(self, tmp_path):
+        from repro.parallel import procs_available
+
+        if not procs_available():
+            pytest.skip("procs backend unavailable")
+        rc, report = self._report(tmp_path, "--backend", "procs")
+        assert rc == 0
+        assert report["backend"] == "procs"
+        assert report["summary"]["failed"] == 0
